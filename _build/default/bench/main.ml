@@ -1,0 +1,444 @@
+(* Benchmark harness regenerating the paper's evaluation:
+
+     dune exec bench/main.exe              -- everything (scaled defaults)
+     dune exec bench/main.exe -- table2    -- Table II (20 cases x 4 methods)
+     dune exec bench/main.exe -- ablation  -- Section V preprocessing study
+     dune exec bench/main.exe -- micro     -- Bechamel kernel benchmarks
+     dune exec bench/main.exe -- table2 --quick   -- smaller budgets
+
+   Absolute sizes/times differ from the paper (different machine, ABC
+   replaced by our AIG pipeline, golden circuits regenerated); the tables
+   print the paper's numbers next to ours so the comparison of *shape* —
+   who wins, by what order of magnitude, where learning collapses — is
+   direct. *)
+
+module Rng = Lr_bitvec.Rng
+module N = Lr_netlist.Netlist
+module Box = Lr_blackbox.Blackbox
+module Cases = Lr_cases.Cases
+module Eval = Lr_eval.Eval
+module Baselines = Lr_baselines.Baselines
+module Config = Logic_regression.Config
+module Learner = Logic_regression.Learner
+
+type scale = {
+  support_rounds : int;
+  max_tree_nodes : int;
+  budget : int;
+  eval_patterns : int;
+  baseline_samples : int;
+}
+
+let default_scale =
+  {
+    support_rounds = 2048;
+    max_tree_nodes = 2048;
+    budget = 1_500_000;
+    eval_patterns = 30_000;
+    baseline_samples = 4096;
+  }
+
+let quick_scale =
+  {
+    support_rounds = 512;
+    max_tree_nodes = 512;
+    budget = 400_000;
+    eval_patterns = 6_000;
+    baseline_samples = 1024;
+  }
+
+type measurement = { size : int; accuracy : float; time_s : float }
+
+let measure_method scale spec golden patterns f =
+  let box = Cases.blackbox ~budget:scale.budget spec in
+  let t0 = Unix.gettimeofday () in
+  let circuit = f box in
+  let time_s = Unix.gettimeofday () -. t0 in
+  ignore spec;
+  let accuracy = 100.0 *. Eval.accuracy_on ~patterns ~golden ~candidate:circuit in
+  { size = N.size circuit; accuracy; time_s }
+
+let ours_config preset scale seed =
+  {
+    preset with
+    Config.seed;
+    support_rounds = scale.support_rounds;
+    max_tree_nodes = scale.max_tree_nodes;
+  }
+
+let run_all_methods scale spec =
+  let golden = Cases.build spec in
+  let patterns =
+    Eval.mixture
+      ~rng:(Rng.create (spec.Cases.seed * 31))
+      ~num_inputs:spec.Cases.num_inputs ~count:scale.eval_patterns
+  in
+  let m = measure_method scale spec golden patterns in
+  let contest =
+    m (fun box ->
+        (Learner.learn ~config:(ours_config Config.contest scale 1) box)
+          .Learner.circuit)
+  in
+  let sop =
+    m (fun box ->
+        Baselines.sop_memorizer ~samples:scale.baseline_samples
+          ~rng:(Rng.create 2) box)
+  in
+  let id3 =
+    m (fun box ->
+        Baselines.id3_tree ~samples:(2 * scale.baseline_samples)
+          ~rng:(Rng.create 3) box)
+  in
+  let improved =
+    m (fun box ->
+        (Learner.learn ~config:(ours_config Config.improved scale 4) box)
+          .Learner.circuit)
+  in
+  (contest, sop, id3, improved)
+
+let pp_entry m = Printf.sprintf "%7d %8.3f %6.1f" m.size m.accuracy m.time_s
+
+let pp_paper = function
+  | None -> Printf.sprintf "%7s %8s %6s" "-" "-" "-"
+  | Some p ->
+      Printf.sprintf "%7d %8.3f %6d" p.Paper_data.size p.Paper_data.accuracy
+        p.Paper_data.time
+
+(* ---------------- Table II ---------------- *)
+
+let table2 scale =
+  print_endline "=== Table II: comparison to the top-3 contest performers ===";
+  print_endline
+    "(per method: size, accuracy %, time s; 'paper' columns transcribe the publication)";
+  Printf.printf "%-8s %-4s | %-23s | %-23s | %-23s | %-23s | %-23s\n" "case"
+    "type" "ours-contest (measured)" "2nd(i) SOP (measured)"
+    "2nd(ii) ID3 (measured)" "ours-improved (measured)" "ours (paper)";
+  let shape_wins = ref 0 and shape_total = ref 0 in
+  let diag_data_exact = ref 0 and diag_data_total = ref 0 in
+  let rows =
+    List.map
+      (fun spec ->
+        let contest, sop, id3, improved = run_all_methods scale spec in
+        let paper = Paper_data.find spec.Cases.name in
+        Printf.printf "%-8s %-4s | %s | %s | %s | %s | %s\n%!" spec.Cases.name
+          (Cases.category_to_string spec.Cases.category)
+          (pp_entry contest) (pp_entry sop) (pp_entry id3) (pp_entry improved)
+          (pp_paper paper.Paper_data.ours);
+        (* shape bookkeeping *)
+        incr shape_total;
+        if
+          improved.size <= sop.size
+          && improved.size <= id3.size
+          && improved.accuracy >= sop.accuracy -. 0.01
+          && improved.accuracy >= id3.accuracy -. 0.01
+        then incr shape_wins;
+        (match spec.Cases.category with
+        | Cases.DIAG | Cases.DATA ->
+            incr diag_data_total;
+            if improved.accuracy >= 99.99 then incr diag_data_exact
+        | Cases.ECO | Cases.NEQ -> ());
+        (spec, contest, sop, id3, improved))
+      Cases.specs
+  in
+  print_newline ();
+  Printf.printf
+    "shape check: ours-improved dominates both baselines (size & accuracy) on %d/%d cases\n"
+    !shape_wins !shape_total;
+  Printf.printf
+    "shape check: DIAG/DATA solved at >=99.99%% accuracy on %d/%d cases (paper: 8/8 via templates)\n"
+    !diag_data_exact !diag_data_total;
+  let hard = [ "case_9"; "case_14"; "case_18" ] in
+  List.iter
+    (fun (spec, _, _, _, improved) ->
+      if List.mem spec.Cases.name hard then
+        Printf.printf
+          "shape check: %s is a hard case (paper: unsolved/low accuracy) -> measured %.3f%%\n"
+          spec.Cases.name improved.accuracy)
+    rows;
+  rows
+
+(* ---------------- preprocessing ablation ---------------- *)
+
+let ablation scale =
+  print_endline "";
+  print_endline
+    "=== Preprocessing ablation (Section V): grouping+templates off ===";
+  print_endline
+    "(paper: 8 DIAG/DATA cases affected - 6 stay >99.7%, 2 drop to ~20%;";
+  print_endline
+    " avg 28x size and 227x runtime increase; ECO/NEQ cases unaffected)";
+  Printf.printf "%-8s %-4s | %-23s | %-23s | %7s %7s\n" "case" "type"
+    "with preprocessing" "without preprocessing" "size x" "time x";
+  let affected = List.filter (fun s ->
+      s.Cases.category = Cases.DIAG || s.Cases.category = Cases.DATA)
+      Cases.specs
+  in
+  let controls = [ Cases.find "case_7"; Cases.find "case_13" ] in
+  let ratios = ref [] in
+  let run_pair spec =
+    let golden = Cases.build spec in
+    let patterns =
+      Eval.mixture
+        ~rng:(Rng.create (spec.Cases.seed * 37))
+        ~num_inputs:spec.Cases.num_inputs ~count:scale.eval_patterns
+    in
+    let m = measure_method scale spec golden patterns in
+    let with_pre =
+      m (fun box ->
+          (Learner.learn ~config:(ours_config Config.improved scale 4) box)
+            .Learner.circuit)
+    in
+    let without_pre =
+      let config =
+        {
+          (ours_config Config.improved scale 4) with
+          Config.use_templates = false;
+          use_grouping = false;
+        }
+      in
+      m (fun box -> (Learner.learn ~config box).Learner.circuit)
+    in
+    let fsize =
+      Float.of_int without_pre.size /. Float.of_int (max 1 with_pre.size)
+    in
+    let ftime = without_pre.time_s /. Float.max 0.001 with_pre.time_s in
+    Printf.printf "%-8s %-4s | %s | %s | %7.1f %7.1f\n%!" spec.Cases.name
+      (Cases.category_to_string spec.Cases.category)
+      (pp_entry with_pre) (pp_entry without_pre) fsize ftime;
+    (spec, with_pre, without_pre, fsize, ftime)
+  in
+  List.iter
+    (fun spec ->
+      let _, _, without_pre, fsize, ftime = run_pair spec in
+      ratios := (without_pre.accuracy, fsize, ftime) :: !ratios)
+    affected;
+  print_endline "controls (ECO; preprocessing finds nothing to match):";
+  List.iter (fun spec -> ignore (run_pair spec)) controls;
+  let n = Float.of_int (List.length !ratios) in
+  let avg f = List.fold_left (fun a x -> a +. f x) 0.0 !ratios /. n in
+  Printf.printf
+    "\naffected cases: avg size increase %.1fx, avg runtime increase %.1fx\n"
+    (avg (fun (_, s, _) -> s))
+    (avg (fun (_, _, t) -> t));
+  let collapsed =
+    List.length (List.filter (fun (a, _, _) -> a < 50.0) !ratios)
+  in
+  let high =
+    List.length (List.filter (fun (a, _, _) -> a > 99.0) !ratios)
+  in
+  Printf.printf
+    "accuracy without preprocessing: %d cases stay >99%%, %d collapse below 50%% (paper: 6 and 2)\n"
+    high collapsed
+
+(* ---------------- extended template families ---------------- *)
+
+let extensions scale =
+  print_endline "";
+  print_endline
+    "=== Extension: generalized templates (paper future work) ===";
+  print_endline
+    "(bitwise vector operators and shift/rotate; not part of Table II)";
+  Printf.printf "%-12s | %-23s | %s\n" "case" "ours-improved" "methods used";
+  List.iter
+    (fun spec ->
+      let golden = Cases.build spec in
+      let patterns =
+        Eval.mixture
+          ~rng:(Rng.create (spec.Cases.seed * 41))
+          ~num_inputs:spec.Cases.num_inputs ~count:scale.eval_patterns
+      in
+      let box = Cases.blackbox ~budget:scale.budget spec in
+      let t0 = Unix.gettimeofday () in
+      let report =
+        Learner.learn ~config:(ours_config Config.improved scale 4) box
+      in
+      let time_s = Unix.gettimeofday () -. t0 in
+      let accuracy =
+        100.0
+        *. Eval.accuracy_on ~patterns ~golden
+             ~candidate:report.Learner.circuit
+      in
+      let methods =
+        report.Learner.outputs
+        |> List.map (fun r -> Learner.method_to_string r.Learner.method_used)
+        |> List.sort_uniq compare
+        |> String.concat ", "
+      in
+      Printf.printf "%-12s | %7d %8.3f %6.1f | %s\n%!" spec.Cases.name
+        (N.size report.Learner.circuit)
+        accuracy time_s methods)
+    Cases.extension_specs
+
+(* ---------------- budget scaling study ---------------- *)
+
+(* Not in the paper, but the natural companion figure: how the anytime
+   behaviour trades query budget for accuracy and size on a hard case. *)
+let scaling scale =
+  print_endline "";
+  print_endline "=== Budget scaling on a hard case (anytime behaviour) ===";
+  Printf.printf "%-10s | %10s | %9s | %9s | %7s\n" "case" "budget"
+    "accuracy%" "size" "time s";
+  let study name budgets =
+    let spec = Cases.find name in
+    let golden = Cases.build spec in
+    let patterns =
+      Eval.mixture
+        ~rng:(Rng.create (spec.Cases.seed * 43))
+        ~num_inputs:spec.Cases.num_inputs ~count:scale.eval_patterns
+    in
+    List.iter
+      (fun budget ->
+        let box = Cases.blackbox ~budget spec in
+        let t0 = Unix.gettimeofday () in
+        let config =
+          {
+            (ours_config Config.improved scale 4) with
+            Config.max_tree_nodes = 1_000_000 (* budget is the only limit *);
+          }
+        in
+        let report = Learner.learn ~config box in
+        let accuracy =
+          100.0
+          *. Eval.accuracy_on ~patterns ~golden
+               ~candidate:report.Learner.circuit
+        in
+        Printf.printf "%-10s | %10d | %9.3f | %9d | %7.1f\n%!" name budget
+          accuracy
+          (N.size report.Learner.circuit)
+          (Unix.gettimeofday () -. t0))
+      budgets
+  in
+  study "case_9" [ 100_000; 400_000; 1_600_000 ];
+  print_endline
+    "(monotone accuracy growth with budget = the anytime property of Algorithm 2)"
+
+(* ---------------- Bechamel micro-benchmarks ---------------- *)
+
+let micro () =
+  print_endline "";
+  print_endline "=== Kernel micro-benchmarks (Bechamel) ===";
+  let open Bechamel in
+  let case7 = Cases.build (Cases.find "case_7") in
+  let case9 = Cases.build (Cases.find "case_9") in
+  let patterns_rng = Rng.create 5 in
+  let words9 =
+    Array.init (N.num_inputs case9) (fun _ -> Rng.bits64 patterns_rng)
+  in
+  let sampling_test =
+    Test.make ~name:"pattern_sampling(case_7, r=64)"
+      (Staged.stage (fun () ->
+           let box = Box.of_netlist case7 in
+           ignore
+             (Lr_sampling.Pattern_sampling.run ~rounds:64 ~rng:(Rng.create 1)
+                box
+                ~constraint_:(Lr_cube.Cube.top (N.num_inputs case7))
+                ())))
+  in
+  let sim_test =
+    Test.make ~name:"netlist word-sim (case_9, 64 patterns)"
+      (Staged.stage (fun () -> ignore (N.eval_words case9 words9)))
+  in
+  let fraig_test =
+    Test.make ~name:"fraig sweep (case_7 AIG)"
+      (Staged.stage (fun () ->
+           let aig = Lr_aig.Aig.of_netlist case7 in
+           ignore (Lr_aig.Fraig.sweep ~words:4 ~rng:(Rng.create 2) aig)))
+  in
+  let bdd_test =
+    Test.make ~name:"BDD build+ISOP (8-bit comparator)"
+      (Staged.stage (fun () ->
+           let man = Lr_bdd.Bdd.man ~nvars:16 in
+           let a = Array.init 8 (fun i -> Lr_bdd.Bdd.var man i) in
+           let b = Array.init 8 (fun i -> Lr_bdd.Bdd.var man (8 + i)) in
+           (* a < b, MSB-first chain *)
+           let lt = ref (Lr_bdd.Bdd.zero man) in
+           let eq = ref (Lr_bdd.Bdd.one man) in
+           for i = 7 downto 0 do
+             let ai = a.(i) and bi = b.(i) in
+             let here =
+               Lr_bdd.Bdd.and_ man (Lr_bdd.Bdd.not_ man ai) bi
+             in
+             lt := Lr_bdd.Bdd.or_ man !lt (Lr_bdd.Bdd.and_ man !eq here);
+             eq :=
+               Lr_bdd.Bdd.and_ man !eq
+                 (Lr_bdd.Bdd.not_ man (Lr_bdd.Bdd.xor_ man ai bi))
+           done;
+           ignore (Lr_bdd.Bdd.isop man !lt)))
+  in
+  let espresso_test =
+    Test.make ~name:"espresso minimize (4-var on/off split)"
+      (Staged.stage (fun () ->
+           let cube s = Lr_cube.Cube.of_string s in
+           let onset =
+             Lr_cube.Cover.of_cubes 4
+               [ cube "0111"; cube "1011"; cube "1101"; cube "1110"; cube "1111" ]
+           in
+           let offset =
+             Lr_cube.Cover.of_cubes 4
+               [ cube "0000"; cube "0001"; cube "0010"; cube "0100"; cube "1000" ]
+           in
+           ignore (Lr_espresso.Espresso.minimize ~onset ~offset ())))
+  in
+  let sat_test =
+    Test.make ~name:"SAT pigeonhole(5,4)"
+      (Staged.stage (fun () ->
+           let s = Lr_sat.Sat.create () in
+           let p = Array.init 5 (fun _ -> Array.init 4 (fun _ -> Lr_sat.Sat.new_var s)) in
+           for i = 0 to 4 do
+             Lr_sat.Sat.add_clause s (Array.to_list p.(i))
+           done;
+           for h = 0 to 3 do
+             for i = 0 to 4 do
+               for j = i + 1 to 4 do
+                 Lr_sat.Sat.add_clause s [ -p.(i).(h); -p.(j).(h) ]
+               done
+             done
+           done;
+           ignore (Lr_sat.Sat.solve s)))
+  in
+  let tests =
+    Test.make_grouped ~name:"kernels" ~fmt:"%s %s"
+      [ sampling_test; sim_test; fraig_test; bdd_test; espresso_test; sat_test ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Printf.printf "%-45s %12.1f ns/run\n" name est
+      | _ -> Printf.printf "%-45s (no estimate)\n" name)
+    results;
+  print_newline ()
+
+(* ---------------- driver ---------------- *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = List.mem "--quick" args in
+  let scale = if quick then quick_scale else default_scale in
+  let args = List.filter (fun a -> a <> "--quick") args in
+  let what = match args with [] -> "all" | w :: _ -> w in
+  match what with
+  | "table2" -> ignore (table2 scale)
+  | "ablation" -> ablation scale
+  | "extensions" -> extensions scale
+  | "scaling" -> scaling scale
+  | "micro" -> micro ()
+  | "all" ->
+      ignore (table2 scale);
+      ablation scale;
+      extensions scale;
+      scaling scale;
+      micro ()
+  | other ->
+      Printf.eprintf
+        "unknown benchmark %s (use table2|ablation|extensions|scaling|micro|all)\n"
+        other;
+      exit 1

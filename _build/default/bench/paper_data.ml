@@ -1,0 +1,40 @@
+(* Table II of the paper, transcribed: per case and per method,
+   (size, accuracy%, time s); None where the method produced no result. *)
+
+type entry = { size : int; accuracy : float; time : int }
+
+type row = {
+  name : string;
+  first_place : entry option;  (* "ours at the contest" *)
+  second_i : entry option;
+  second_ii : entry option;
+  ours : entry option;  (* "ours with further improvements" *)
+}
+
+let e size accuracy time = Some { size; accuracy; time }
+
+let table2 =
+  [
+    { name = "case_1"; first_place = e 172 100.0 27; second_i = e 165 100.0 70; second_ii = e 165 100.0 53; ours = e 165 100.0 35 };
+    { name = "case_2"; first_place = e 186 100.0 10; second_i = e 627 100.0 83; second_ii = e 201 100.0 34; ours = e 186 100.0 11 };
+    { name = "case_3"; first_place = e 71 100.0 12; second_i = e 71 100.0 110; second_ii = e 71 100.0 96; ours = e 71 100.0 14 };
+    { name = "case_4"; first_place = e 1298 100.0 465; second_i = e 106592 99.783 2561; second_ii = e 108083 99.199 2664; ours = e 173 100.0 229 };
+    { name = "case_5"; first_place = None; second_i = e 165119 99.785 2017; second_ii = e 139470 99.550 2664; ours = e 1436 99.833 2578 };
+    { name = "case_6"; first_place = e 93 100.0 15; second_i = e 147 100.0 97; second_ii = None; ours = e 93 100.0 16 };
+    { name = "case_7"; first_place = e 40 100.0 4; second_i = e 40 100.0 20; second_ii = e 40 100.0 10; ours = e 40 100.0 5 };
+    { name = "case_8"; first_place = e 63 100.0 6; second_i = e 85 100.0 50; second_ii = e 65412 99.844 2666; ours = e 63 100.0 7 };
+    { name = "case_9"; first_place = None; second_i = e 25457 87.445 2699; second_ii = None; ours = None };
+    { name = "case_10"; first_place = e 23 100.0 6; second_i = e 23 100.0 17; second_ii = e 23 100.0 10; ours = e 23 100.0 6 };
+    { name = "case_11"; first_place = e 4 0.1 10; second_i = e 11044 57.779 2226; second_ii = e 89495 99.264 2681; ours = e 1928 99.640 2657 };
+    { name = "case_12"; first_place = e 79 100.0 10; second_i = e 122 99.994 153; second_ii = e 80 100.0 45; ours = e 79 100.0 9 };
+    { name = "case_13"; first_place = e 27 100.0 4; second_i = e 27 100.0 20; second_ii = e 27 100.0 9; ours = e 27 100.0 5 };
+    { name = "case_14"; first_place = None; second_i = None; second_ii = None; ours = e 11207 28.194 2689 };
+    { name = "case_15"; first_place = None; second_i = e 181 99.999 81; second_ii = e 46013 99.781 2668; ours = e 129 99.999 19 };
+    { name = "case_16"; first_place = e 34 100.0 1; second_i = e 22 100.0 11; second_ii = e 22 100.0 6; ours = e 22 100.0 2 };
+    { name = "case_17"; first_place = None; second_i = e 101285 99.920 2509; second_ii = None; ours = e 2598 99.989 1983 };
+    { name = "case_18"; first_place = None; second_i = None; second_ii = None; ours = e 3391 59.757 2674 };
+    { name = "case_19"; first_place = None; second_i = e 429865 98.388 1920; second_ii = e 216312 97.682 2683; ours = e 2991 99.956 1764 };
+    { name = "case_20"; first_place = e 74 100.0 10; second_i = e 714227 96.812 2700; second_ii = None; ours = e 74 100.0 10 };
+  ]
+
+let find name = List.find (fun r -> r.name = name) table2

@@ -1,0 +1,1 @@
+bin/casegen.ml: Arg Cmd Cmdliner Filename List Lr_cases Lr_netlist Option Printf Term

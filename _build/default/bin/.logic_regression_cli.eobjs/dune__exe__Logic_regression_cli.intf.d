@@ -1,0 +1,1 @@
+bin/logic_regression_cli.mli:

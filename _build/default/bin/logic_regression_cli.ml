@@ -1,0 +1,309 @@
+(* Command-line front end: learn a circuit for a benchmark case (or any
+   circuit file treated as a black-box), score it, save it. *)
+
+module Rng = Lr_bitvec.Rng
+module N = Lr_netlist.Netlist
+module Io = Lr_netlist.Io
+module Box = Lr_blackbox.Blackbox
+module Cases = Lr_cases.Cases
+module Eval = Lr_eval.Eval
+module T = Lr_templates.Templates
+module G = Lr_grouping.Grouping
+module Config = Logic_regression.Config
+module Learner = Logic_regression.Learner
+module Baselines = Lr_baselines.Baselines
+
+open Cmdliner
+
+(* ---------- shared options ---------- *)
+
+let preset_conv =
+  Arg.enum [ ("contest", Config.contest); ("improved", Config.improved) ]
+
+let preset_arg =
+  let doc = "Algorithm preset: the configuration run at the contest, or the paper's improved one." in
+  Arg.(value & opt preset_conv Config.improved & info [ "preset" ] ~docv:"PRESET" ~doc)
+
+let seed_arg =
+  let doc = "Master RNG seed." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc)
+
+let budget_arg =
+  let doc = "Query budget (the reproduction's deterministic analogue of the contest's time limit)." in
+  Arg.(value & opt (some int) None & info [ "budget" ] ~docv:"QUERIES" ~doc)
+
+let eval_arg =
+  let doc = "Number of scoring patterns (the contest used 1500000)." in
+  Arg.(value & opt int 30_000 & info [ "eval-patterns" ] ~doc)
+
+let support_rounds_arg =
+  let doc = "Sampling rounds r for support identification (paper: 7200)." in
+  Arg.(value & opt (some int) None & info [ "support-rounds" ] ~doc)
+
+let no_templates_arg =
+  let doc = "Disable template matching (the paper's preprocessing ablation)." in
+  Arg.(value & flag & info [ "no-templates" ] ~doc)
+
+let no_grouping_arg =
+  let doc = "Disable name-based grouping (implies --no-templates)." in
+  Arg.(value & flag & info [ "no-grouping" ] ~doc)
+
+let out_arg =
+  let doc = "Write the learned circuit to this file." in
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let case_pos =
+  let doc = "Benchmark case name (see the list subcommand) or a circuit file path." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"CASE" ~doc)
+
+let resolve_box ~budget name =
+  match Cases.find name with
+  | spec -> (Cases.blackbox ?budget spec, Some (Cases.build spec))
+  | exception Not_found ->
+      if Sys.file_exists name then begin
+        let golden =
+          if Filename.check_suffix name ".blif" then
+            Lr_netlist.Blif.read_file name
+          else Io.read_file name
+        in
+        (Box.of_netlist ?budget golden, Some golden)
+      end
+      else failwith (Printf.sprintf "unknown case or file: %s" name)
+
+(* ---------- learn ---------- *)
+
+let describe_matches m =
+  List.iter
+    (fun l ->
+      let terms =
+        String.concat " + "
+          (List.map
+             (fun (a, v) -> Printf.sprintf "%d*%s" a v.G.base)
+             l.T.terms)
+      in
+      Printf.printf "  linear:      %s = %s + %d\n" l.T.z.G.base terms
+        l.T.offset)
+    m.T.linears;
+  List.iter
+    (fun c ->
+      let rhs =
+        match c.T.rhs with
+        | T.Vec v -> v.G.base
+        | T.Const k -> string_of_int k
+      in
+      Printf.printf "  comparator:  PO %d = (%s %s %s)%s\n" c.T.po
+        c.T.lhs.G.base
+        (T.op_to_string c.T.cmp_op)
+        rhs
+        (match c.T.prop_cube with
+        | None -> ""
+        | Some _ -> "   [hidden: via propagation cube]"))
+    m.T.comparators
+
+let learn_run case preset seed budget eval_patterns support_rounds no_templates
+    no_grouping out =
+  let config =
+    {
+      preset with
+      Config.seed;
+      use_templates = preset.Config.use_templates && not no_templates;
+      use_grouping = preset.Config.use_grouping && not no_grouping;
+      support_rounds =
+        Option.value support_rounds ~default:preset.Config.support_rounds;
+    }
+  in
+  let box, golden = resolve_box ~budget case in
+  let report = Learner.learn ~config box in
+  let c = report.Learner.circuit in
+  Printf.printf "learned %s: %d PI, %d PO\n" case (N.num_inputs c)
+    (N.num_outputs c);
+  Printf.printf "  size:    %d two-input gates (+%d inverters), depth %d\n"
+    (N.size c) (N.stats c).N.inverters (N.stats c).N.depth;
+  Printf.printf "  queries: %d\n" report.Learner.queries;
+  Printf.printf "  time:    %.2f s\n" report.Learner.elapsed_s;
+  (match report.Learner.matches with
+  | Some m when m.T.linears <> [] || m.T.comparators <> [] ->
+      Printf.printf "templates matched:\n";
+      describe_matches m
+  | _ -> ());
+  Printf.printf "per-output methods:\n";
+  List.iter
+    (fun r ->
+      Printf.printf "  %-12s %-20s support=%-3d cubes=%-5d%s%s\n"
+        r.Learner.output_name
+        (Learner.method_to_string r.Learner.method_used)
+        r.Learner.support_size r.Learner.cubes
+        (if r.Learner.compressed then " [compressed]" else "")
+        (if r.Learner.complete then "" else " [budget-truncated]"))
+    report.Learner.outputs;
+  (match golden with
+  | Some golden ->
+      let acc =
+        Eval.accuracy ~count:eval_patterns ~rng:(Rng.create (seed + 7919))
+          ~golden ~candidate:c ()
+      in
+      Printf.printf "accuracy: %.4f%% on %d patterns\n" (100.0 *. acc)
+        eval_patterns
+  | None -> ());
+  (match out with
+  | Some path ->
+      Io.write_file c path;
+      Printf.printf "written to %s\n" path
+  | None -> ());
+  0
+
+let learn_cmd =
+  let doc = "learn a circuit from a black-box case" in
+  Cmd.v
+    (Cmd.info "learn" ~doc)
+    Term.(
+      const learn_run $ case_pos $ preset_arg $ seed_arg $ budget_arg
+      $ eval_arg $ support_rounds_arg $ no_templates_arg $ no_grouping_arg
+      $ out_arg)
+
+(* ---------- baseline ---------- *)
+
+let baseline_conv = Arg.enum [ ("sop", `Sop); ("id3", `Id3) ]
+
+let baseline_arg =
+  let doc = "Baseline family: sampled-SOP memorizer or ID3 tree." in
+  Arg.(value & opt baseline_conv `Id3 & info [ "method" ] ~doc)
+
+let baseline_run case method_ seed budget eval_patterns =
+  let box, golden = resolve_box ~budget case in
+  let rng = Rng.create seed in
+  let t0 = Unix.gettimeofday () in
+  let c =
+    match method_ with
+    | `Sop -> Baselines.sop_memorizer ~rng box
+    | `Id3 -> Baselines.id3_tree ~rng box
+  in
+  Printf.printf "baseline %s on %s: size=%d queries=%d time=%.2fs\n"
+    (match method_ with `Sop -> "sop" | `Id3 -> "id3")
+    case (N.size c) (Box.queries_used box)
+    (Unix.gettimeofday () -. t0);
+  (match golden with
+  | Some golden ->
+      let acc =
+        Eval.accuracy ~count:eval_patterns ~rng:(Rng.create (seed + 7919))
+          ~golden ~candidate:c ()
+      in
+      Printf.printf "accuracy: %.4f%%\n" (100.0 *. acc)
+  | None -> ());
+  0
+
+let baseline_cmd =
+  let doc = "run a contestant-style baseline learner" in
+  Cmd.v
+    (Cmd.info "baseline" ~doc)
+    Term.(
+      const baseline_run $ case_pos $ baseline_arg $ seed_arg $ budget_arg
+      $ eval_arg)
+
+(* ---------- list ---------- *)
+
+let list_run () =
+  Printf.printf "%-8s %-4s %4s %4s %s\n" "name" "type" "#PI" "#PO" "hidden";
+  List.iter
+    (fun s ->
+      Printf.printf "%-8s %-4s %4d %4d %s\n" s.Cases.name
+        (Cases.category_to_string s.Cases.category)
+        s.Cases.num_inputs s.Cases.num_outputs
+        (if s.Cases.hidden then "*" else ""))
+    Cases.specs;
+  0
+
+let list_cmd =
+  let doc = "list the 20 benchmark cases (Table II)" in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const list_run $ const ())
+
+(* ---------- score ---------- *)
+
+let candidate_pos =
+  let doc = "Learned circuit file." in
+  Arg.(required & pos 1 (some string) None & info [] ~docv:"CIRCUIT" ~doc)
+
+let score_run case candidate seed eval_patterns =
+  let _, golden = resolve_box ~budget:None case in
+  match golden with
+  | None -> failwith "no golden circuit available"
+  | Some golden ->
+      let c = Io.read_file candidate in
+      let acc =
+        Eval.accuracy ~count:eval_patterns ~rng:(Rng.create (seed + 7919))
+          ~golden ~candidate:c ()
+      in
+      Printf.printf "size=%d accuracy=%.4f%%\n" (N.size c) (100.0 *. acc);
+      0
+
+let score_cmd =
+  let doc = "score a learned circuit against a case's golden circuit" in
+  Cmd.v
+    (Cmd.info "score" ~doc)
+    Term.(const score_run $ case_pos $ candidate_pos $ seed_arg $ eval_arg)
+
+(* ---------- cec ---------- *)
+
+let circuit_pos k =
+  let doc = "Circuit file (text netlist format)." in
+  Arg.(required & pos k (some string) None & info [] ~docv:"CIRCUIT" ~doc)
+
+let cec_run path1 path2 =
+  let c1 = Io.read_file path1 and c2 = Io.read_file path2 in
+  match Lr_aig.Equiv.check c1 c2 with
+  | Lr_aig.Equiv.Equivalent ->
+      print_endline "EQUIVALENT";
+      0
+  | Lr_aig.Equiv.Counterexample cex ->
+      Printf.printf "NOT EQUIVALENT\ncounterexample inputs (MSB..LSB): %s\n"
+        (Lr_bitvec.Bv.to_string cex);
+      1
+
+let cec_cmd =
+  let doc = "prove or refute combinational equivalence of two circuits" in
+  Cmd.v (Cmd.info "cec" ~doc) Term.(const cec_run $ circuit_pos 0 $ circuit_pos 1)
+
+(* ---------- export ---------- *)
+
+let format_conv =
+  Arg.enum
+    [ ("verilog", `Verilog); ("aiger", `Aiger); ("blif", `Blif); ("dot", `Dot) ]
+
+let format_arg =
+  let doc = "Output format: structural Verilog, ASCII AIGER, BLIF, or Graphviz dot." in
+  Arg.(value & opt format_conv `Verilog & info [ "format" ] ~doc)
+
+let export_out =
+  let doc = "Destination file." in
+  Arg.(required & pos 1 (some string) None & info [] ~docv:"OUT" ~doc)
+
+let export_run case format out =
+  let golden =
+    match Cases.find case with
+    | spec -> Cases.build spec
+    | exception Not_found -> Io.read_file case
+  in
+  (match format with
+  | `Verilog -> Lr_netlist.Verilog.write_file golden out
+  | `Blif -> Lr_netlist.Blif.write_file golden out
+  | `Dot -> Lr_netlist.Dot.write_file golden out
+  | `Aiger ->
+      Lr_aig.Aiger.write_file
+        ~comment:(Printf.sprintf "exported from %s" case)
+        (Lr_aig.Aig.of_netlist golden) out);
+  Printf.printf "written %s\n" out;
+  0
+
+let export_cmd =
+  let doc = "export a case or circuit file to Verilog or AIGER" in
+  Cmd.v
+    (Cmd.info "export" ~doc)
+    Term.(const export_run $ case_pos $ format_arg $ export_out)
+
+let main =
+  let doc = "circuit learning for logic regression (DAC 2020 reproduction)" in
+  Cmd.group
+    (Cmd.info "logic_regression" ~doc)
+    [ learn_cmd; baseline_cmd; list_cmd; score_cmd; cec_cmd; export_cmd ]
+
+let () = exit (Cmd.eval' main)

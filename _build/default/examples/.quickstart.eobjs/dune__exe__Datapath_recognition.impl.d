@@ -1,0 +1,1 @@
+examples/datapath_recognition.ml: Array List Logic_regression Lr_bitvec Lr_cases Lr_eval Lr_grouping Lr_netlist Lr_templates Printf String

@@ -1,0 +1,1 @@
+examples/diagnosis.ml: List Logic_regression Lr_bitvec Lr_cases Lr_cube Lr_eval Lr_grouping Lr_netlist Lr_templates Printf

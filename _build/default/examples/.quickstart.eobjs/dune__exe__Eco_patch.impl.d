@@ -1,0 +1,1 @@
+examples/eco_patch.ml: Logic_regression Lr_baselines Lr_bitvec Lr_blackbox Lr_cases Lr_eval Lr_netlist Printf Unix

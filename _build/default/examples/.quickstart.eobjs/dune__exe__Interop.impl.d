@@ -1,0 +1,1 @@
+examples/interop.ml: List Logic_regression Lr_aig Lr_bitvec Lr_cases Lr_netlist Printf String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Logic_regression Lr_bitvec Lr_blackbox Lr_netlist Printf

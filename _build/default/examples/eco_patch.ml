@@ -1,0 +1,58 @@
+(* The ECO scenario (paper Section V, cases 1/4/7/13/17/19).
+
+   In an engineering change order, the logic difference between the old and
+   the patched cone is available only as a black-box (e.g. from two sealed
+   simulators). The learner must recover a small patch circuit. This example
+   runs the paper's method and the two contestant-style baselines on
+   case_4 — the case where the paper reports a 625x size advantage — and
+   prints a Table-II-style row for each.
+
+     dune exec examples/eco_patch.exe *)
+
+module Rng = Lr_bitvec.Rng
+module N = Lr_netlist.Netlist
+module Box = Lr_blackbox.Blackbox
+module Cases = Lr_cases.Cases
+module Eval = Lr_eval.Eval
+module Baselines = Lr_baselines.Baselines
+module Learner = Logic_regression.Learner
+module Config = Logic_regression.Config
+
+let () =
+  let spec = Cases.find "case_4" in
+  let golden = Cases.build spec in
+  Printf.printf "case_4 (ECO): %d inputs, %d outputs, hidden circuit of %d gates\n\n"
+    spec.Cases.num_inputs spec.Cases.num_outputs (N.size golden);
+  let score c =
+    Eval.accuracy ~count:30_000 ~rng:(Rng.create 2024) ~golden ~candidate:c ()
+  in
+  let row name f =
+    let box = Cases.blackbox spec in
+    let t0 = Unix.gettimeofday () in
+    let c = f box in
+    let dt = Unix.gettimeofday () -. t0 in
+    Printf.printf "%-22s size=%-6d accuracy=%8.4f%%  time=%5.1fs  queries=%d\n"
+      name (N.size c)
+      (100.0 *. score c)
+      dt (Box.queries_used box)
+  in
+  let config =
+    { Config.improved with Config.seed = 7; support_rounds = 1024 }
+  in
+  row "ours (improved)" (fun box ->
+      (Learner.learn ~config box).Learner.circuit);
+  row "ours (contest)" (fun box ->
+      (Learner.learn
+         ~config:{ Config.contest with Config.seed = 7; support_rounds = 1024 }
+         box)
+        .Learner.circuit);
+  row "2nd place (i): SOP" (fun box ->
+      Baselines.sop_memorizer ~samples:4096 ~rng:(Rng.create 7) box);
+  row "2nd place (ii): ID3" (fun box ->
+      Baselines.id3_tree ~samples:8192 ~rng:(Rng.create 7) box);
+  print_newline ();
+  print_endline
+    "The decision-tree method recovers the sparse patch support exactly;";
+  print_endline
+    "sampling learners must memorise the space and pay orders of magnitude";
+  print_endline "in size and accuracy, as in Table II of the paper."

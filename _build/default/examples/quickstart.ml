@@ -1,0 +1,51 @@
+(* Quickstart: learn a circuit for a black-box you define as a plain OCaml
+   function, then check the result on every input assignment.
+
+     dune exec examples/quickstart.exe
+
+   The black-box below computes f = (a AND b) OR (NOT c AND d) — but the
+   learner is only allowed to query it with full input assignments, exactly
+   like the contest's IO-generator. *)
+
+module Bv = Lr_bitvec.Bv
+module N = Lr_netlist.Netlist
+module Box = Lr_blackbox.Blackbox
+module Learner = Logic_regression.Learner
+module Config = Logic_regression.Config
+
+let secret a = (Bv.get a 0 && Bv.get a 1) || ((not (Bv.get a 2)) && Bv.get a 3)
+
+let () =
+  let box =
+    Box.of_function
+      ~input_names:[| "a"; "b"; "c"; "d"; "e"; "f" |]
+      ~output_names:[| "out" |]
+      (fun a ->
+        let out = Bv.create 1 in
+        Bv.set out 0 (secret a);
+        out)
+  in
+  print_endline "querying the black-box to learn a circuit...";
+  let config =
+    { Config.default with Config.seed = 42; support_rounds = 512 }
+  in
+  let report = Learner.learn ~config box in
+  let c = report.Learner.circuit in
+  Printf.printf "learned a circuit with %d two-input gates (queries: %d)\n"
+    (N.size c) report.Learner.queries;
+  List.iter
+    (fun r ->
+      Printf.printf "output %s learned by %s over a support of %d inputs\n"
+        r.Learner.output_name
+        (Learner.method_to_string r.Learner.method_used)
+        r.Learner.support_size)
+    report.Learner.outputs;
+  (* the input space is tiny here, so verify exhaustively *)
+  let mistakes = ref 0 in
+  for m = 0 to 63 do
+    let a = Bv.of_int ~width:6 m in
+    if Bv.get (N.eval c a) 0 <> secret a then incr mistakes
+  done;
+  Printf.printf "exhaustive check: %d mistakes over 64 assignments\n" !mistakes;
+  print_endline
+    (if !mistakes = 0 then "the learned circuit is exact." else "PROBLEM!")

@@ -1,0 +1,1 @@
+lib/aig/aig.ml: Array Hashtbl Int64 Lr_netlist Printf

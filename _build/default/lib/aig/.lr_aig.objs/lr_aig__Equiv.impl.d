@@ -1,0 +1,1 @@
+lib/aig/equiv.ml: Aig Array Int64 Lr_bitvec Lr_netlist Lr_sat

@@ -1,0 +1,1 @@
+lib/aig/equiv.mli: Aig Lr_bitvec Lr_netlist

@@ -1,0 +1,1 @@
+lib/aig/fraig.ml: Aig Array Fun Hashtbl Int64 List Lr_bitvec Lr_sat

@@ -1,0 +1,1 @@
+lib/aig/opt.ml: Aig Array Fraig Hashtbl List Rewrite

@@ -1,0 +1,1 @@
+lib/aig/rewrite.ml: Aig Array Fun Hashtbl List Lr_bdd Lr_cube

@@ -1,0 +1,26 @@
+(** Combinational equivalence checking (CEC).
+
+    Builds a miter of two circuits with matched interfaces and decides
+    equivalence with the {!Lr_sat} CDCL solver, after a fraig-style
+    simulation pass has pruned the easy mismatches. This is how the test
+    suite {e proves} (not just samples) that template-built circuits equal
+    their golden counterparts, and it is exposed on the CLI as the [cec]
+    command. *)
+
+type verdict =
+  | Equivalent
+  | Counterexample of Lr_bitvec.Bv.t
+      (** an input assignment on which some output differs *)
+
+val check :
+  ?rng:Lr_bitvec.Rng.t ->
+  Lr_netlist.Netlist.t ->
+  Lr_netlist.Netlist.t ->
+  verdict
+(** [check a b] decides whether the two circuits compute the same function.
+    Requires equal PI/PO counts (names are not compared). Complete: always
+    returns a definite verdict, with SAT doing the heavy lifting. *)
+
+val check_outputs_equal : Aig.t -> Aig.lit -> Aig.lit -> verdict
+(** Decide whether two literals of one AIG are the same function — the
+    primitive [check] reduces to, also used by fraig verification tests. *)

@@ -1,0 +1,18 @@
+(** Structural AIG optimization scripts.
+
+    [balance] rebuilds conjunction trees in balanced form (ABC's [balance]);
+    [rewrite] rebuilds the graph applying local one-level simplification
+    rules (absorption, containment, contradiction) on top of structural
+    hashing; [compress] is the dc2/resyn-style driver that interleaves
+    balancing, rewriting and {!Fraig.sweep} until no gain remains. *)
+
+val balance : Aig.t -> Aig.t
+val rewrite : Aig.t -> Aig.t
+
+val compress :
+  ?max_rounds:int -> ?fraig_words:int -> rng:Lr_bitvec.Rng.t -> Aig.t -> Aig.t
+(** The optimization script applied to every learned circuit (the paper
+    runs ABC's [dc2], [rewrite], [resyn3] here): balance, local rewrite,
+    {!Rewrite.cut_rewrite}, {!Fraig.sweep}, iterated while gains last.
+    Guaranteed not to increase {!Aig.num_ands}: each round's result is
+    kept only if smaller. *)

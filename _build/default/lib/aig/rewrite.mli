@@ -1,0 +1,15 @@
+(** Cut-based AIG rewriting (the DAG-aware rewriting of ABC's [rewrite]).
+
+    For every AND node a set of 4-feasible cuts is enumerated; the node's
+    function over each cut (a 16-bit truth table) is resynthesised from its
+    ISOP (both polarities), and the candidate is costed {e exactly} against
+    the structural hash of the output graph — nodes already present are
+    free, so the pass exploits sharing a purely local rebuild cannot see.
+    The cheapest implementation (including the node's original structure)
+    is kept, so the result never has more AND nodes than a plain rebuild.
+
+    Function preservation is guaranteed by construction and double-checked
+    by the property tests. *)
+
+val cut_rewrite : ?max_cuts:int -> Aig.t -> Aig.t
+(** [max_cuts] bounds the cuts kept per node (default 8). *)

@@ -1,0 +1,1 @@
+lib/baselines/baselines.ml: Array Float Fun List Lr_bitvec Lr_blackbox Lr_cube Lr_netlist Lr_sampling

@@ -1,0 +1,1 @@
+lib/baselines/baselines.mli: Lr_bitvec Lr_blackbox Lr_netlist

@@ -1,0 +1,135 @@
+module Bv = Lr_bitvec.Bv
+module Rng = Lr_bitvec.Rng
+module Cube = Lr_cube.Cube
+module Cover = Lr_cube.Cover
+module N = Lr_netlist.Netlist
+module B = Lr_netlist.Builder
+module Box = Lr_blackbox.Blackbox
+module Ps = Lr_sampling.Pattern_sampling
+
+let mixture rng ni count =
+  Array.init count (fun i ->
+      let bias = [| 0.5; 0.8; 0.2 |].(i mod 3) in
+      Bv.random_biased rng bias ni)
+
+let sop_memorizer ?(samples = 2048) ?(support_rounds = 64) ~rng box =
+  let ni = Box.num_inputs box and no = Box.num_outputs box in
+  let stats =
+    Ps.run ~rounds:support_rounds ~rng box ~constraint_:(Cube.top ni) ()
+  in
+  let patterns = mixture rng ni samples in
+  let outs = Box.query_many box patterns in
+  let c =
+    N.create ~input_names:(Box.input_names box)
+      ~output_names:(Box.output_names box)
+  in
+  let vars = Array.init ni (N.input c) in
+  for o = 0 to no - 1 do
+    let support = Ps.support stats ~output:o in
+    let cube_of p =
+      List.fold_left (fun cb v -> Cube.add cb v (Bv.get p v)) (Cube.top ni)
+        support
+    in
+    let onset = ref [] in
+    Array.iteri
+      (fun i p -> if Bv.get outs.(i) o then onset := cube_of p :: !onset)
+      patterns;
+    let cover =
+      Cover.of_cubes ni (List.sort_uniq Cube.compare !onset)
+      (* one cheap merging pass: real memorizers deduplicate adjacent
+         samples but cannot afford full minimization at this cube count *)
+      |> Cover.single_cube_containment
+    in
+    N.set_output c o (B.sop c vars cover)
+  done;
+  c
+
+(* ---------- ID3 ---------- *)
+
+type example = { input : Bv.t; label : bool }
+
+let entropy pos total =
+  if total = 0 || pos = 0 || pos = total then 0.0
+  else begin
+    let p = Float.of_int pos /. Float.of_int total in
+    let q = 1.0 -. p in
+    -.((p *. Float.log p) +. (q *. Float.log q)) /. Float.log 2.0
+  end
+
+let count_pos examples = List.length (List.filter (fun e -> e.label) examples)
+
+(* information gain of splitting [examples] on variable [v] *)
+let gain examples v =
+  let total = List.length examples in
+  if total = 0 then 0.0
+  else begin
+    let e1, e0 = List.partition (fun e -> Bv.get e.input v) examples in
+    let h xs = entropy (count_pos xs) (List.length xs) in
+    let weighted =
+      (Float.of_int (List.length e1) *. h e1
+      +. Float.of_int (List.length e0) *. h e0)
+      /. Float.of_int total
+    in
+    entropy (count_pos examples) total -. weighted
+  end
+
+type tree = Leaf of bool | Node of int * tree * tree  (* var, if0, if1 *)
+
+let rec grow ~max_depth ~min_samples ~candidates examples depth =
+  let total = List.length examples in
+  let pos = count_pos examples in
+  if pos = 0 then Leaf false
+  else if pos = total then Leaf true
+  else if depth >= max_depth || total < min_samples || candidates = [] then
+    Leaf (2 * pos > total)
+  else begin
+    let best, best_gain =
+      List.fold_left
+        (fun (bv, bg) v ->
+          let g = gain examples v in
+          if g > bg then (v, g) else (bv, bg))
+        (-1, 0.0) candidates
+    in
+    if best < 0 || best_gain <= 1e-9 then Leaf (2 * pos > total)
+    else begin
+      let e1, e0 = List.partition (fun e -> Bv.get e.input best) examples in
+      let rest = List.filter (fun v -> v <> best) candidates in
+      Node
+        ( best,
+          grow ~max_depth ~min_samples ~candidates:rest e0 (depth + 1),
+          grow ~max_depth ~min_samples ~candidates:rest e1 (depth + 1) )
+    end
+  end
+
+(* unroll the tree into the cubes of its 1-paths *)
+let tree_cubes ni tree =
+  let rec go prefix = function
+    | Leaf true -> [ prefix ]
+    | Leaf false -> []
+    | Node (v, t0, t1) ->
+        go (Cube.add prefix v false) t0 @ go (Cube.add prefix v true) t1
+  in
+  go (Cube.top ni) tree
+
+let id3_tree ?(samples = 4096) ?(max_depth = 24) ?(min_samples = 4) ~rng box =
+  let ni = Box.num_inputs box and no = Box.num_outputs box in
+  let patterns = mixture rng ni samples in
+  let outs = Box.query_many box patterns in
+  let c =
+    N.create ~input_names:(Box.input_names box)
+      ~output_names:(Box.output_names box)
+  in
+  let vars = Array.init ni (N.input c) in
+  let candidates = List.init ni Fun.id in
+  for o = 0 to no - 1 do
+    let examples =
+      Array.to_list
+        (Array.mapi
+           (fun i p -> { input = p; label = Bv.get outs.(i) o })
+           patterns)
+    in
+    let tree = grow ~max_depth ~min_samples ~candidates examples 0 in
+    let cover = Cover.of_cubes ni (tree_cubes ni tree) in
+    N.set_output c o (B.sop c vars cover)
+  done;
+  c

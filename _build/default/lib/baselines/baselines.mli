@@ -1,0 +1,38 @@
+(** Contestant-style baseline learners.
+
+    The paper compares against the two runner-up teams of the contest.
+    Their executables are not public, but their result signatures in
+    Table II — circuits two to three orders of magnitude larger, accuracy
+    collapsing on the hard ECO/NEQ cases — are exactly the signatures of
+    the two standard sampling-learner families below, which we use as
+    stand-ins:
+
+    - {!sop_memorizer} ("2nd place (i)"): draw a large sample, restrict
+      each observed minterm to a cheaply-estimated support, and OR the
+      collected cubes. Memorisation generalises only through cube merging,
+      so circuits are huge and unseen-space behaviour defaults to 0.
+    - {!id3_tree} ("2nd place (ii)"): an entropy-guided decision tree
+      trained offline on a fixed labelled sample (no adaptive queries), then
+      unrolled into path cubes. Generalises better than memorisation but
+      still blows up on wide supports.
+
+    Both consume queries from the same {!Lr_blackbox.Blackbox} interface as
+    the main method, so Table II's query/time accounting is comparable. *)
+
+val sop_memorizer :
+  ?samples:int ->
+  ?support_rounds:int ->
+  rng:Lr_bitvec.Rng.t ->
+  Lr_blackbox.Blackbox.t ->
+  Lr_netlist.Netlist.t
+(** Default 2048 samples, 64 support-estimation rounds. *)
+
+val id3_tree :
+  ?samples:int ->
+  ?max_depth:int ->
+  ?min_samples:int ->
+  rng:Lr_bitvec.Rng.t ->
+  Lr_blackbox.Blackbox.t ->
+  Lr_netlist.Netlist.t
+(** Default 4096 samples, depth cap 24, leaves of fewer than 4 samples
+    become majority leaves. *)

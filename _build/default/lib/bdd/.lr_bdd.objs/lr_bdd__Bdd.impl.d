@@ -1,0 +1,1 @@
+lib/bdd/bdd.ml: Array Float Hashtbl List Lr_bitvec Lr_cube

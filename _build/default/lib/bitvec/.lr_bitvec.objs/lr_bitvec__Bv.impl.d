@@ -1,0 +1,1 @@
+lib/bitvec/bv.ml: Array Format Hashtbl Int64 List Rng Stdlib String

@@ -1,0 +1,57 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+(* SplitMix64 output mixer (Steele, Lea, Flood 2014). *)
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t = { state = bits64 t }
+
+let copy t = { state = t.state }
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling on the low 62 bits keeps the draw unbiased. *)
+  let mask = 0x3FFFFFFFFFFFFFFFL in
+  let rec draw () =
+    let v = Int64.to_int (Int64.logand (bits64 t) mask) in
+    let r = v mod n in
+    if v - r > max_int - n then draw () else r
+  in
+  draw ()
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let float t =
+  let v = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float v *. (1.0 /. 9007199254740992.0)
+
+let biased_bool t p = float t < p
+
+let biased_word t p =
+  if p <= 0.0 then 0L
+  else if p >= 1.0 then -1L
+  else begin
+    (* Read the binary expansion of [p] plane by plane: OR with a uniform
+       word contributes the 1/2 mass of the current plane, AND halves the
+       remaining mass. Six planes give 1/64 resolution, ample for sampling. *)
+    let planes = 6 in
+    let rec go k p =
+      if k = 0 then if p >= 0.5 then -1L else 0L
+      else begin
+        let w = bits64 t in
+        if p >= 0.5 then Int64.logor w (go (k - 1) ((p -. 0.5) *. 2.0))
+        else Int64.logand w (go (k - 1) (p *. 2.0))
+      end
+    in
+    go planes p
+  end

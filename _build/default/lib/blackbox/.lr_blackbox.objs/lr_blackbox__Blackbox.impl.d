@@ -1,0 +1,1 @@
+lib/blackbox/blackbox.ml: Array Lr_bitvec Lr_netlist Unix

@@ -1,0 +1,1 @@
+lib/blackbox/blackbox.mli: Lr_bitvec Lr_netlist

@@ -1,0 +1,72 @@
+module Bv = Lr_bitvec.Bv
+module N = Lr_netlist.Netlist
+
+type provider =
+  | Circuit of N.t
+  | Function of (Bv.t -> Bv.t)
+
+type t = {
+  provider : provider;
+  input_names : string array;
+  output_names : string array;
+  budget : int option;
+  deadline_s : float option;
+  mutable used : int;
+  mutable started_at : float;
+}
+
+let make ?budget ?deadline_s provider ~input_names ~output_names =
+  {
+    provider;
+    input_names;
+    output_names;
+    budget;
+    deadline_s;
+    used = 0;
+    started_at = Unix.gettimeofday ();
+  }
+
+let of_netlist ?budget ?deadline_s c =
+  make ?budget ?deadline_s (Circuit c)
+    ~input_names:(N.input_names c) ~output_names:(N.output_names c)
+
+let of_function ?budget ?deadline_s ~input_names ~output_names f =
+  make ?budget ?deadline_s (Function f) ~input_names ~output_names
+
+let num_inputs t = Array.length t.input_names
+let num_outputs t = Array.length t.output_names
+let input_names t = t.input_names
+let output_names t = t.output_names
+
+let check_width t a =
+  if Bv.length a <> num_inputs t then
+    invalid_arg "Blackbox.query: assignment width mismatch"
+
+let query t a =
+  check_width t a;
+  t.used <- t.used + 1;
+  match t.provider with
+  | Circuit c -> N.eval c a
+  | Function f -> f a
+
+let query_many t patterns =
+  Array.iter (check_width t) patterns;
+  t.used <- t.used + Array.length patterns;
+  match t.provider with
+  | Circuit c -> N.eval_many c patterns
+  | Function f -> Array.map f patterns
+
+let queries_used t = t.used
+let budget t = t.budget
+
+let exhausted t =
+  (match t.budget with Some b -> t.used >= b | None -> false)
+  || match t.deadline_s with
+     | Some d -> Unix.gettimeofday () -. t.started_at >= d
+     | None -> false
+
+let reset_accounting t =
+  t.used <- 0;
+  t.started_at <- Unix.gettimeofday ()
+
+let golden t = match t.provider with Circuit c -> Some c | Function _ -> None

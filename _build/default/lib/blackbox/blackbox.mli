@@ -1,0 +1,53 @@
+(** The black-box input-output relation generator of the contest problem.
+
+    A [Blackbox.t] exposes exactly what the 2019 ICCAD contest exposed to
+    contestants: the {e names} of the primary inputs and outputs, and a
+    query facility accepting a {e full} input assignment and returning the
+    full output assignment. Nothing about the underlying circuit leaks.
+
+    Every query is counted. The learner's anytime behaviour is driven by a
+    deterministic query budget (and optionally a wall-clock deadline), so
+    runs are reproducible; exceeding the budget never fails a query — the
+    learner is expected to poll {!exhausted}, mirroring the "TimeLimit is
+    exceeded" test of Algorithm 2. *)
+
+type t
+
+val of_netlist : ?budget:int -> ?deadline_s:float -> Lr_netlist.Netlist.t -> t
+(** Wrap a golden circuit. The circuit is retained only behind the query
+    interface; use {!golden} in evaluation code, never in the learner. *)
+
+val of_function :
+  ?budget:int ->
+  ?deadline_s:float ->
+  input_names:string array ->
+  output_names:string array ->
+  (Lr_bitvec.Bv.t -> Lr_bitvec.Bv.t) ->
+  t
+(** Wrap an arbitrary total function (used by tests and the quickstart). *)
+
+val num_inputs : t -> int
+val num_outputs : t -> int
+val input_names : t -> string array
+val output_names : t -> string array
+
+val query : t -> Lr_bitvec.Bv.t -> Lr_bitvec.Bv.t
+(** One full assignment in, one full assignment out. Counts 1 query. *)
+
+val query_many : t -> Lr_bitvec.Bv.t array -> Lr_bitvec.Bv.t array
+(** Batched queries (word-parallel when the box wraps a netlist).
+    Counts [Array.length] queries. *)
+
+val queries_used : t -> int
+val budget : t -> int option
+
+val exhausted : t -> bool
+(** True once the query budget or the wall-clock deadline is spent. *)
+
+val reset_accounting : t -> unit
+(** Zero the query counter and restart the deadline clock (benchmarks call
+    this between methods sharing one box). *)
+
+val golden : t -> Lr_netlist.Netlist.t option
+(** The wrapped circuit, if any. {b Evaluation-only}: learners must not call
+    this — it is the hidden contest reference used to score accuracy. *)

@@ -1,0 +1,1 @@
+lib/cases/cases.ml: Array Char Hashtbl List Lr_bitvec Lr_blackbox Lr_netlist Printf

@@ -1,0 +1,1 @@
+lib/cases/cases.mli: Lr_blackbox Lr_netlist

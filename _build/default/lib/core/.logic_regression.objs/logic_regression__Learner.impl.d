@@ -1,0 +1,1 @@
+lib/core/learner.ml: Array Config Fun Hashtbl List Lr_aig Lr_bdd Lr_bitvec Lr_blackbox Lr_cube Lr_fbdt Lr_grouping Lr_netlist Lr_sampling Lr_templates Option Unix

@@ -1,0 +1,1 @@
+lib/core/learner.mli: Config Lr_blackbox Lr_netlist Lr_templates

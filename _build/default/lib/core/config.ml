@@ -1,0 +1,52 @@
+type t = {
+  seed : int;
+  use_grouping : bool;
+  use_templates : bool;
+  support_rounds : int;
+  node_rounds : int;
+  small_support_threshold : int;
+  leaf_epsilon : float;
+  max_tree_nodes : int;
+  use_onset_offset : bool;
+  minimize_cover : bool;
+  optimize : bool;
+  optimize_rounds : int;
+  fraig_words : int;
+  template_samples : int;
+  template_prop_cubes : int;
+  refine_rounds : int;
+}
+
+let contest =
+  {
+    seed = 1;
+    use_grouping = true;
+    use_templates = true;
+    support_rounds = 7200;
+    node_rounds = 60;
+    small_support_threshold = 18;
+    leaf_epsilon = 0.0;
+    max_tree_nodes = 4096;
+    use_onset_offset = false;
+    minimize_cover = false;
+    optimize = true;
+    optimize_rounds = 2;
+    fraig_words = 8;
+    template_samples = 64;
+    template_prop_cubes = 4;
+    refine_rounds = 0;
+  }
+
+let improved =
+  {
+    contest with
+    leaf_epsilon = 0.02;
+    use_onset_offset = true;
+    minimize_cover = true;
+    optimize_rounds = 4;
+    fraig_words = 16;
+  }
+
+let default = improved
+
+let with_seed seed t = { t with seed }

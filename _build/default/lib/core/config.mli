@@ -1,0 +1,37 @@
+(** Learner configuration.
+
+    Two presets reproduce the two "ours" columns of Table II:
+    {!contest} is the algorithm as run at the 2019 contest, {!improved}
+    adds the post-contest refinements reported in the paper (early
+    stopping, onset/offset choice, heavier optimization). *)
+
+type t = {
+  seed : int;  (** master RNG seed; everything else derives from it *)
+  use_grouping : bool;  (** step 1 of Figure 1 *)
+  use_templates : bool;  (** step 2; requires grouping *)
+  support_rounds : int;  (** r of Algorithm 1 for support id (paper: 7200) *)
+  node_rounds : int;  (** r inside the FBDT (paper: 60) *)
+  small_support_threshold : int;
+      (** exhaustive conquest bound on |S'| (paper: 18) *)
+  leaf_epsilon : float;  (** early-stopping truth-ratio deviation *)
+  max_tree_nodes : int;  (** per-output cap on expanded FBDT nodes *)
+  use_onset_offset : bool;  (** pick the smaller of onset/offset covers *)
+  minimize_cover : bool;  (** two-level minimization before synthesis *)
+  optimize : bool;  (** step 5: AIG optimization *)
+  optimize_rounds : int;
+  fraig_words : int;
+  template_samples : int;
+  template_prop_cubes : int;
+  refine_rounds : int;
+      (** extension: after an incomplete tree, validate on fresh samples
+          and re-learn with a doubled node budget up to this many times
+          (0 = paper behaviour) *)
+}
+
+val contest : t
+val improved : t
+
+val default : t
+(** = {!improved}. *)
+
+val with_seed : int -> t -> t

@@ -1,0 +1,481 @@
+module Bv = Lr_bitvec.Bv
+module Rng = Lr_bitvec.Rng
+module Cube = Lr_cube.Cube
+module Cover = Lr_cube.Cover
+module N = Lr_netlist.Netlist
+module B = Lr_netlist.Builder
+module Box = Lr_blackbox.Blackbox
+module Ps = Lr_sampling.Pattern_sampling
+module G = Lr_grouping.Grouping
+module T = Lr_templates.Templates
+module Oracle = Lr_fbdt.Oracle
+module Fbdt = Lr_fbdt.Fbdt
+module Bdd = Lr_bdd.Bdd
+module Aig = Lr_aig.Aig
+module Opt = Lr_aig.Opt
+
+type method_used =
+  | Linear_template
+  | Comparator_template
+  | Bitwise_template
+  | Shift_template
+  | Exhaustive
+  | Decision_tree
+
+let method_to_string = function
+  | Linear_template -> "linear-template"
+  | Comparator_template -> "comparator-template"
+  | Bitwise_template -> "bitwise-template"
+  | Shift_template -> "shift-template"
+  | Exhaustive -> "exhaustive"
+  | Decision_tree -> "decision-tree"
+
+type output_report = {
+  output : int;
+  output_name : string;
+  method_used : method_used;
+  support_size : int;
+  cubes : int;
+  used_offset : bool;
+  complete : bool;
+  compressed : bool;
+}
+
+type report = {
+  circuit : Lr_netlist.Netlist.t;
+  outputs : output_report list;
+  queries : int;
+  elapsed_s : float;
+  matches : Lr_templates.Templates.matches option;
+}
+
+(* representative (lhs, rhs) vector values realising the predicate value:
+   [reps op] = ((x_false, y_false), (x_true, y_true)) *)
+let delegate_reps : T.op -> (int * int) * (int * int) = function
+  | `Eq -> ((0, 1), (0, 0))
+  | `Ne -> ((0, 0), (0, 1))
+  | `Lt -> ((0, 0), (0, 1))
+  | `Le -> ((1, 0), (0, 0))
+  | `Gt -> ((0, 0), (1, 0))
+  | `Ge -> ((0, 1), (0, 0))
+
+(* Virtual input domain for one output: optionally one delegate input
+   standing for a compressed comparator. *)
+type domain = {
+  arity : int;
+  compressed_bits : int list;  (** PI indices replaced by the delegate *)
+  delegate : (T.comparator * int) option;  (** match + virtual index *)
+}
+
+let plain_domain ni = { arity = ni; compressed_bits = []; delegate = None }
+
+let compressed_domain ni cmp =
+  let rhs_bits =
+    match cmp.T.rhs with
+    | T.Vec v -> Array.to_list v.G.bits
+    | T.Const _ -> []
+  in
+  {
+    arity = ni + 1;
+    compressed_bits = Array.to_list cmp.T.lhs.G.bits @ rhs_bits;
+    delegate = Some (cmp, ni);
+  }
+
+(* translate a virtual assignment into a full black-box assignment *)
+let to_full ni dom virtual_a =
+  let a = Bv.create ni in
+  for i = 0 to ni - 1 do
+    Bv.set a i (Bv.get virtual_a i)
+  done;
+  (match dom.delegate with
+  | None -> ()
+  | Some (cmp, dvar) ->
+      let (xf, yf), (xt, yt) = delegate_reps cmp.T.cmp_op in
+      let x, y = if Bv.get virtual_a dvar then (xt, yt) else (xf, yf) in
+      G.set_vector cmp.T.lhs (fun s b -> Bv.set a s b) x;
+      (match cmp.T.rhs with
+      | T.Vec v -> G.set_vector v (fun s b -> Bv.set a s b) y
+      | T.Const _ -> ()));
+  a
+
+let oracle_for box dom ~output =
+  let ni = Box.num_inputs box in
+  {
+    Oracle.arity = dom.arity;
+    query =
+      (fun arr ->
+        let full = Array.map (to_full ni dom) arr in
+        let outs = Box.query_many box full in
+        Array.map (fun o -> Bv.get o output) outs);
+    exhausted = (fun () -> Box.exhausted box);
+  }
+
+(* A truncated tree on an unlearnable function can emit a huge cover;
+   adjacency merging is near-linear, but above this size even building the
+   merged SOP as a circuit is pointless, so fall back to deduplication. *)
+let merge_bounded cover =
+  if Cover.num_cubes cover > 50_000 then Cover.dedup cover
+  else Cover.merge_pass cover
+
+(* Two-level minimization of the chosen cover against its complement.
+   Moderate covers go through BDD collapse + ISOP (the paper's heavy
+   'collapse' step); bigger ones only get the cheap adjacency merging. *)
+let minimize_cover ~arity ~chosen ~other =
+  let cheap = merge_bounded chosen in
+  if
+    Cover.num_cubes cheap <= 1024
+    && Cover.num_literals cheap <= 12_000
+    && arity <= 512
+  then begin
+    let man = Bdd.man ~nvars:arity in
+    let lower = Bdd.of_cover man cheap in
+    let upper = Bdd.not_ man (Bdd.of_cover man (merge_bounded other)) in
+    (* covers from a decision tree partition the space, but a truncated
+       tree may leave overlap; guard by intersecting bounds *)
+    let lower = Bdd.and_ man lower upper in
+    let budget = max 2048 (2 * Cover.num_cubes cheap) in
+    match Bdd.isop_bounded man ~max_cubes:budget ~lower ~upper with
+    | Some isop
+      when Cover.num_cubes isop < Cover.num_cubes cheap
+           || Cover.num_literals isop < Cover.num_literals cheap ->
+        isop
+    | Some _ | None -> cheap
+  end
+  else cheap
+
+(* Realise a BDD as a multiplexer network — the compact fallback when a
+   function (parity-like) has a small BDD but an exponential SOP. *)
+let mux_tree_of_bdd circuit man vars root =
+  let memo = Hashtbl.create 64 in
+  let rec go b =
+    match Bdd.is_const man b with
+    | Some false -> N.const_false circuit
+    | Some true -> N.const_true circuit
+    | None -> (
+        let id = Bdd.node_id b in
+        match Hashtbl.find_opt memo id with
+        | Some n -> n
+        | None ->
+            let v =
+              match Bdd.top_var man b with Some v -> v | None -> assert false
+            in
+            let n =
+              B.mux circuit ~sel:vars.(v)
+                ~then_:(go (Bdd.high man b))
+                ~else_:(go (Bdd.low man b))
+            in
+            Hashtbl.replace memo id n;
+            n)
+  in
+  go root
+
+let learn ?(config = Config.default) box =
+  let t0 = Unix.gettimeofday () in
+  let master_rng = Rng.create config.Config.seed in
+  let template_rng = Rng.split master_rng in
+  let support_rng = Rng.split master_rng in
+  let tree_rng = Rng.split master_rng in
+  let opt_rng = Rng.split master_rng in
+  let ni = Box.num_inputs box and no = Box.num_outputs box in
+  let circuit =
+    N.create ~input_names:(Box.input_names box)
+      ~output_names:(Box.output_names box)
+  in
+  let pi = Array.init ni (N.input circuit) in
+  let vec_nodes v = Array.map (fun s -> pi.(s)) v.G.bits in
+  (* ---- steps 1 & 2: grouping + template matching ---- *)
+  let matches =
+    if config.Config.use_grouping && config.Config.use_templates then
+      Some
+        (T.scan ~samples:config.Config.template_samples
+           ~prop_cubes:config.Config.template_prop_cubes ~rng:template_rng box)
+    else None
+  in
+  let reports = ref [] in
+  let handled = Hashtbl.create 16 in
+  let out_names = Box.output_names box in
+  (match matches with
+  | None -> ()
+  | Some m ->
+      List.iter
+        (fun l ->
+          let width = Array.length l.T.z.G.bits in
+          let terms =
+            List.map (fun (a, v) -> (a, vec_nodes v)) l.T.terms
+          in
+          let sum = B.linear_combination circuit ~width terms l.T.offset in
+          Array.iteri
+            (fun k po ->
+              N.set_output circuit po sum.(k);
+              Hashtbl.replace handled po ();
+              reports :=
+                {
+                  output = po;
+                  output_name = out_names.(po);
+                  method_used = Linear_template;
+                  support_size = 0;
+                  cubes = 0;
+                  used_offset = false;
+                  complete = true;
+                  compressed = false;
+                }
+                :: !reports)
+            l.T.z.G.bits)
+        m.T.linears;
+      let template_report method_used po =
+        {
+          output = po;
+          output_name = out_names.(po);
+          method_used;
+          support_size = 0;
+          cubes = 0;
+          used_offset = false;
+          complete = true;
+          compressed = false;
+        }
+      in
+      List.iter
+        (fun b ->
+          let lhs = vec_nodes b.T.blhs in
+          let bits =
+            match b.T.brhs with
+            | None -> Array.map (N.not_ circuit) lhs
+            | Some rhs ->
+                let rhs = vec_nodes rhs in
+                let gate =
+                  match b.T.bop with
+                  | T.Band -> N.and_
+                  | T.Bor -> N.or_
+                  | T.Bxor -> N.xor_
+                  | T.Bxnor -> N.xnor_
+                  | T.Bnot -> fun c x _ -> N.not_ c x
+                in
+                Array.mapi (fun i l -> gate circuit l rhs.(i)) lhs
+          in
+          Array.iteri
+            (fun k po ->
+              N.set_output circuit po bits.(k);
+              Hashtbl.replace handled po ();
+              reports := template_report Bitwise_template po :: !reports)
+            b.T.bz.G.bits)
+        m.T.bitwises;
+      List.iter
+        (fun s ->
+          let src = vec_nodes s.T.src in
+          let w = Array.length src in
+          Array.iteri
+            (fun k po ->
+              let j = k + s.T.amount in
+              let bit =
+                if s.T.rotate then src.(j mod w)
+                else if j < w then src.(j)
+                else N.const_false circuit
+              in
+              N.set_output circuit po bit;
+              Hashtbl.replace handled po ();
+              reports := template_report Shift_template po :: !reports)
+            s.T.sz.G.bits)
+        m.T.shifts;
+      List.iter
+        (fun c ->
+          match c.T.prop_cube with
+          | Some _ -> () (* input compression, handled below *)
+          | None ->
+              let lhs = vec_nodes c.T.lhs in
+              let node =
+                match c.T.rhs with
+                | T.Vec v -> B.compare_op circuit c.T.cmp_op lhs (vec_nodes v)
+                | T.Const k -> B.compare_const circuit c.T.cmp_op lhs k
+              in
+              N.set_output circuit c.T.po node;
+              Hashtbl.replace handled c.T.po ();
+              reports :=
+                {
+                  output = c.T.po;
+                  output_name = out_names.(c.T.po);
+                  method_used = Comparator_template;
+                  support_size = 0;
+                  cubes = 0;
+                  used_offset = false;
+                  complete = true;
+                  compressed = false;
+                }
+                :: !reports)
+        m.T.comparators);
+  let remaining =
+    List.init no Fun.id |> List.filter (fun o -> not (Hashtbl.mem handled o))
+  in
+  (* ---- step 3: support identification, one pass for all outputs ---- *)
+  let stats =
+    if remaining = [] then None
+    else
+      Some
+        (Ps.run ~rounds:config.Config.support_rounds ~rng:support_rng box
+           ~constraint_:(Cube.top ni) ())
+  in
+  (* ---- step 4 per remaining output ---- *)
+  List.iter
+    (fun po ->
+      let stats = Option.get stats in
+      let raw_support = Ps.support stats ~output:po in
+      let compression =
+        match matches with
+        | None -> None
+        | Some m ->
+            List.find_opt
+              (fun c -> c.T.po = po && c.T.prop_cube <> None)
+              m.T.comparators
+      in
+      let dom =
+        match compression with
+        | None -> plain_domain ni
+        | Some cmp -> compressed_domain ni cmp
+      in
+      let support =
+        let kept =
+          List.filter (fun v -> not (List.mem v dom.compressed_bits)) raw_support
+        in
+        match dom.delegate with
+        | None -> kept
+        | Some (_, dvar) -> kept @ [ dvar ]
+      in
+      let oracle = oracle_for box dom ~output:po in
+      let result, method_used =
+        if List.length support <= config.Config.small_support_threshold then
+          ( Fbdt.learn_exhaustive ~rng:tree_rng ~support oracle,
+            Exhaustive )
+        else begin
+          (* refinement loop (extension): when the tree came back truncated
+             and fresh validation samples expose mistakes, retry with a
+             doubled node budget — the budget-vs-accuracy dial the paper
+             leaves at a fixed setting *)
+          let validate result =
+            let probes =
+              Array.init 256 (fun i ->
+                  Bv.random_biased tree_rng
+                    [| 0.5; 0.8; 0.2 |].(i mod 3)
+                    dom.arity)
+            in
+            let want = oracle.Oracle.query probes in
+            let errors = ref 0 in
+            Array.iteri
+              (fun i p ->
+                if Cover.eval result.Fbdt.onset p <> want.(i) then incr errors)
+              probes;
+            !errors = 0
+          in
+          let rec attempt tries max_nodes =
+            let fcfg =
+              {
+                Fbdt.node_rounds = config.Config.node_rounds;
+                biases = Ps.default_biases;
+                leaf_epsilon = config.Config.leaf_epsilon;
+                max_nodes;
+              }
+            in
+            let result = Fbdt.learn ~support fcfg ~rng:tree_rng oracle in
+            if
+              tries <= 0 || result.Fbdt.complete
+              || Box.exhausted box || validate result
+            then result
+            else attempt (tries - 1) (2 * max_nodes)
+          in
+          ( attempt config.Config.refine_rounds config.Config.max_tree_nodes,
+            Decision_tree )
+        end
+      in
+      let use_offset =
+        config.Config.use_onset_offset && result.Fbdt.truth_ratio > 0.5
+      in
+      (* virtual variable -> circuit node (delegates become their
+         comparator subcircuit: the input-compression payoff) *)
+      let vars =
+        Array.init dom.arity (fun v ->
+            if v < ni then pi.(v)
+            else
+              match dom.delegate with
+              | Some (cmp, _) ->
+                  let lhs = vec_nodes cmp.T.lhs in
+                  (match cmp.T.rhs with
+                  | T.Vec vec ->
+                      B.compare_op circuit cmp.T.cmp_op lhs (vec_nodes vec)
+                  | T.Const k -> B.compare_const circuit cmp.T.cmp_op lhs k)
+              | None -> assert false)
+      in
+      let node, cubes_built =
+        match result.Fbdt.table with
+        | Some table ->
+            (* exhaustive conquest: collapse the exact truth table to a BDD
+               and pick the cheaper of its irredundant SOP and its mux
+               network (parity-like functions have tiny BDDs but
+               exponential SOPs) *)
+            let man = Bdd.man ~nvars:dom.arity in
+            let f =
+              Bdd.of_truth_table man ~vars:(Array.of_list support) (fun i ->
+                  table.(i))
+            in
+            let target = if use_offset then Bdd.not_ man f else f in
+            let mux_cost = 3 * Bdd.size man f in
+            (match
+               Bdd.isop_bounded man ~max_cubes:(max 512 mux_cost)
+                 ~lower:target ~upper:target
+             with
+            | Some cover
+              when Cover.num_literals cover + Cover.num_cubes cover
+                   <= mux_cost ->
+                let n = B.sop circuit vars cover in
+                ( (if use_offset then N.not_ circuit n else n),
+                  Cover.num_cubes cover )
+            | Some _ | None -> (mux_tree_of_bdd circuit man vars f, 0))
+        | None ->
+            let chosen, other =
+              if use_offset then (result.Fbdt.offset, result.Fbdt.onset)
+              else (result.Fbdt.onset, result.Fbdt.offset)
+            in
+            let cover =
+              if config.Config.minimize_cover then
+                minimize_cover ~arity:dom.arity ~chosen ~other
+              else merge_bounded chosen
+            in
+            let n = B.sop circuit vars cover in
+            ( (if use_offset then N.not_ circuit n else n),
+              Cover.num_cubes cover )
+      in
+      N.set_output circuit po node;
+      reports :=
+        {
+          output = po;
+          output_name = out_names.(po);
+          method_used;
+          support_size = List.length support;
+          cubes = cubes_built;
+          used_offset = use_offset;
+          complete = result.Fbdt.complete;
+          compressed = dom.delegate <> None;
+        }
+        :: !reports)
+    remaining;
+  (* ---- step 5: circuit optimization ---- *)
+  let circuit =
+    if config.Config.optimize then begin
+      let aig = Aig.of_netlist circuit in
+      let aig =
+        (* fraig's SAT sweeping is super-linear; on the enormous netlists a
+           budget-truncated tree produces, restrict to the linear passes *)
+        if Aig.num_ands aig > 25_000 then Opt.rewrite (Opt.balance aig)
+        else
+          Opt.compress ~max_rounds:config.Config.optimize_rounds
+            ~fraig_words:config.Config.fraig_words ~rng:opt_rng aig
+      in
+      Aig.to_netlist ~input_names:(Box.input_names box)
+        ~output_names:(Box.output_names box) aig
+    end
+    else circuit
+  in
+  {
+    circuit;
+    outputs = List.sort (fun a b -> compare a.output b.output) !reports;
+    queries = Box.queries_used box;
+    elapsed_s = Unix.gettimeofday () -. t0;
+    matches;
+  }

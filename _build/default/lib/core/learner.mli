@@ -1,0 +1,51 @@
+(** The full circuit-learning pipeline of the paper (Figure 1):
+
+    {v
+    black-box --> name grouping --> template matching
+              --> support identification --> FBDT construction
+              --> circuit optimization --> learned circuit
+    v}
+
+    Each primary output is learned independently. Outputs matched by a
+    template (a comparator predicate or a bit of a linear-arithmetic
+    vector) are synthesised directly; hidden comparators found under a
+    propagation cube compress their input buses into a single delegate
+    input for the decision-tree stage; everything else is learned by the
+    FBDT (or by exhaustive enumeration when the identified support is
+    small), minimized two-level, and synthesised as an SOP. Finally the
+    whole netlist is optimized through the AIG pipeline
+    (balance / rewrite / fraig). *)
+
+type method_used =
+  | Linear_template
+  | Comparator_template
+  | Bitwise_template  (** extension: [z = v1 ⊙ v2] bitwise *)
+  | Shift_template  (** extension: [z = v >> k] / rotation *)
+  | Exhaustive
+  | Decision_tree
+
+val method_to_string : method_used -> string
+
+type output_report = {
+  output : int;
+  output_name : string;
+  method_used : method_used;
+  support_size : int;  (** |S'| (0 for template outputs) *)
+  cubes : int;  (** cubes synthesised (0 for template outputs) *)
+  used_offset : bool;  (** circuit built from the offset, then negated *)
+  complete : bool;  (** false if the budget truncated the tree *)
+  compressed : bool;  (** a delegate input replaced a bus pair *)
+}
+
+type report = {
+  circuit : Lr_netlist.Netlist.t;
+  outputs : output_report list;
+  queries : int;  (** black-box queries consumed *)
+  elapsed_s : float;
+  matches : Lr_templates.Templates.matches option;
+}
+
+val learn : ?config:Config.t -> Lr_blackbox.Blackbox.t -> report
+(** Learn a circuit for the black-box. The box's budget (if any) drives the
+    anytime behaviour; the call always returns a complete circuit, with
+    budget-starved outputs approximated as in Algorithm 2. *)

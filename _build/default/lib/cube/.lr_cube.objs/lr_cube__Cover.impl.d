@@ -1,0 +1,1 @@
+lib/cube/cover.ml: Cube Format Hashtbl List Lr_bitvec Option String

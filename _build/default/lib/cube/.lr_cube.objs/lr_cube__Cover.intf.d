@@ -1,0 +1,1 @@
+lib/cube/cover.mli: Cube Format Lr_bitvec

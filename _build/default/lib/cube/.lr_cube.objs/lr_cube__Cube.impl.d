@@ -1,0 +1,1 @@
+lib/cube/cube.ml: Format Hashtbl List Lr_bitvec Stdlib String

@@ -1,0 +1,138 @@
+module Bv = Lr_bitvec.Bv
+
+type t = { n : int; cubes : Cube.t list }
+
+let universe t = t.n
+let cubes t = t.cubes
+let num_cubes t = List.length t.cubes
+let num_literals t =
+  List.fold_left (fun acc c -> acc + Cube.num_literals c) 0 t.cubes
+
+let empty n = { n; cubes = [] }
+
+let of_cubes n cubes =
+  List.iter
+    (fun c ->
+      if Cube.universe c <> n then
+        invalid_arg "Cover.of_cubes: cube universe mismatch")
+    cubes;
+  { n; cubes }
+
+let add t c =
+  if Cube.universe c <> t.n then invalid_arg "Cover.add: universe mismatch";
+  { t with cubes = c :: t.cubes }
+
+let eval t a = List.exists (fun c -> Cube.satisfies c a) t.cubes
+
+let dedup t = { t with cubes = List.sort_uniq Cube.compare t.cubes }
+
+let single_cube_containment t =
+  let keep c others =
+    not (List.exists (fun c' -> (not (Cube.equal c c')) && Cube.contains c' c) others)
+  in
+  (* Deduplicate first so equal cubes don't protect each other. *)
+  let dedup = List.sort_uniq Cube.compare t.cubes in
+  { t with cubes = List.filter (fun c -> keep c dedup) dedup }
+
+(* Adjacency merging to fixpoint. Two cubes merge when they share their
+   care set and differ in exactly one phase, so we bucket cubes by care
+   set and look partners up by hashing the value pattern with one bit
+   flipped — linear in cubes x literals per round instead of quadratic. *)
+let merge_pass t =
+  let rec fixpoint cubes =
+    let buckets : (string, (string, Cube.t) Hashtbl.t) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    List.iter
+      (fun c ->
+        let key =
+          (* care set alone; the PLA string encodes care+value, so mask
+             values out by replacing 0/1 with a common marker *)
+          String.map
+            (fun ch -> if ch = '-' then '-' else 'x')
+            (Cube.to_string c)
+        in
+        let bucket =
+          match Hashtbl.find_opt buckets key with
+          | Some b -> b
+          | None ->
+              let b = Hashtbl.create 16 in
+              Hashtbl.replace buckets key b;
+              b
+        in
+        Hashtbl.replace bucket (Cube.to_string c) c)
+      cubes;
+    let merged = ref false in
+    let out = ref [] in
+    Hashtbl.iter
+      (fun _ bucket ->
+        let consumed = Hashtbl.create 16 in
+        Hashtbl.iter
+          (fun key c ->
+            if not (Hashtbl.mem consumed key) then begin
+              let partner =
+                List.find_map
+                  (fun (v, ph) ->
+                    let flipped = Cube.to_string (Cube.add (Cube.remove c v) v (not ph)) in
+                    if Hashtbl.mem consumed flipped then None
+                    else
+                      Option.map
+                        (fun c' -> (flipped, Cube.remove c' v))
+                        (Hashtbl.find_opt bucket flipped))
+                  (Cube.literals c)
+              in
+              match partner with
+              | Some (partner_key, m) when partner_key <> key ->
+                  Hashtbl.replace consumed key ();
+                  Hashtbl.replace consumed partner_key ();
+                  merged := true;
+                  out := m :: !out
+              | Some _ | None -> out := c :: !out
+            end)
+          bucket)
+      buckets;
+    let cubes' = List.sort_uniq Cube.compare !out in
+    if !merged then fixpoint cubes' else cubes'
+  in
+  let merged = { t with cubes = fixpoint (List.sort_uniq Cube.compare t.cubes) } in
+  if num_cubes merged <= 1024 then single_cube_containment merged
+  else merged
+
+let complement_exhaustive t =
+  if t.n > 20 then invalid_arg "Cover.complement_exhaustive: universe too big";
+  let out = ref [] in
+  let a = Bv.create t.n in
+  for m = 0 to (1 lsl t.n) - 1 do
+    for v = 0 to t.n - 1 do
+      Bv.set a v ((m lsr v) land 1 = 1)
+    done;
+    if not (eval t a) then begin
+      let c = ref (Cube.top t.n) in
+      for v = 0 to t.n - 1 do
+        c := Cube.add !c v (Bv.get a v)
+      done;
+      out := !c :: !out
+    end
+  done;
+  { t with cubes = !out }
+
+let pp ~names ppf t =
+  if t.cubes = [] then Format.pp_print_string ppf "0"
+  else
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " | ")
+      (Cube.pp ~names) ppf t.cubes
+
+let to_pla t = String.concat "\n" (List.map Cube.to_string t.cubes)
+
+let of_pla s =
+  let lines =
+    String.split_on_char '\n' s
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  match lines with
+  | [] -> empty 0
+  | first :: _ ->
+      let n = String.length first in
+      of_cubes n (List.map Cube.of_string lines)

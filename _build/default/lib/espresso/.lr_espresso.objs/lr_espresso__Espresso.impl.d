@@ -1,0 +1,1 @@
+lib/espresso/espresso.ml: Array List Lr_cube Option

@@ -1,0 +1,1 @@
+lib/espresso/espresso.mli: Lr_cube

@@ -1,0 +1,171 @@
+module Cube = Lr_cube.Cube
+module Cover = Lr_cube.Cover
+
+let cofactor_cover cover cube =
+  let n = Cover.universe cover in
+  let cubes =
+    List.filter_map
+      (fun d ->
+        match Cube.intersect d cube with
+        | None -> None
+        | Some _ ->
+            (* erase the cofactoring literals from d *)
+            let d' =
+              List.fold_left
+                (fun acc (v, _) -> Cube.remove acc v)
+                d (Cube.literals cube)
+            in
+            Some d')
+      (Cover.cubes cover)
+  in
+  Cover.of_cubes n cubes
+
+(* Shannon-split tautology. Always terminates: each recursion eliminates a
+   variable that occurs in some cube, and a cover whose cubes are all empty
+   is decided immediately. *)
+let rec tautology cover =
+  let cubes = Cover.cubes cover in
+  if List.exists (fun c -> Cube.num_literals c = 0) cubes then true
+  else if cubes = [] then false
+  else begin
+    let n = Cover.universe cover in
+    (* split on the most frequently used variable *)
+    let freq = Array.make n 0 in
+    List.iter
+      (fun c -> List.iter (fun (v, _) -> freq.(v) <- freq.(v) + 1) (Cube.literals c))
+      cubes;
+    let v = ref 0 in
+    for i = 1 to n - 1 do
+      if freq.(i) > freq.(!v) then v := i
+    done;
+    let branch ph =
+      let lit = Cube.add (Cube.top n) !v ph in
+      tautology (cofactor_cover cover lit)
+    in
+    branch false && branch true
+  end
+
+let covers_cube cover cube = tautology (cofactor_cover cover cube)
+
+let intersects_cover cube cover =
+  List.exists
+    (fun d -> Option.is_some (Cube.intersect cube d))
+    (Cover.cubes cover)
+
+(* Shannon-recursive complement: ~F = v.~(F|v) + ~v.~(F|~v), with the usual
+   special cases. Splitting on the most frequent variable keeps the
+   recursion shallow on typical covers. *)
+let rec complement cover =
+  let n = Cover.universe cover in
+  let cubes = Cover.cubes cover in
+  if cubes = [] then Cover.of_cubes n [ Cube.top n ]
+  else if List.exists (fun c -> Cube.num_literals c = 0) cubes then
+    Cover.empty n
+  else begin
+    let freq = Array.make n 0 in
+    List.iter
+      (fun c ->
+        List.iter (fun (v, _) -> freq.(v) <- freq.(v) + 1) (Cube.literals c))
+      cubes;
+    let v = ref 0 in
+    for i = 1 to n - 1 do
+      if freq.(i) > freq.(!v) then v := i
+    done;
+    let branch ph =
+      let lit = Cube.add (Cube.top n) !v ph in
+      let sub = complement (cofactor_cover cover lit) in
+      List.filter_map
+        (fun c -> if Cube.has_var c !v then None else Some (Cube.add c !v ph))
+        (Cover.cubes sub)
+    in
+    Cover.of_cubes n (branch false @ branch true)
+    |> Cover.single_cube_containment
+  end
+
+let supercube cover =
+  match Cover.cubes cover with
+  | [] -> None
+  | first :: rest ->
+      let n = Cover.universe cover in
+      let keep acc c =
+        (* retain only the literals on which every cube agrees *)
+        List.fold_left
+          (fun acc (v, ph) ->
+            if Cube.has_var c v && Cube.phase c v = ph then acc
+            else Cube.remove acc v)
+          acc (Cube.literals acc)
+      in
+      ignore n;
+      Some (List.fold_left keep first rest)
+
+let expand ~onset ~offset =
+  let expand_cube c =
+    (* try dropping literals one at a time, biggest win first: a literal
+       whose removal is blocked now may become droppable later, so a single
+       greedy sweep in variable order is the espresso-lite compromise *)
+    List.fold_left
+      (fun c (v, _) ->
+        let attempt = Cube.remove c v in
+        if intersects_cover attempt offset then c else attempt)
+      c (Cube.literals c)
+  in
+  Cover.of_cubes (Cover.universe onset)
+    (List.map expand_cube (Cover.cubes onset))
+
+let irredundant cover =
+  let cover = Cover.single_cube_containment cover in
+  let rec filter kept = function
+    | [] -> List.rev kept
+    | c :: rest ->
+        let others = Cover.of_cubes (Cover.universe cover) (List.rev_append kept rest) in
+        if covers_cube others c then filter kept rest
+        else filter (c :: kept) rest
+  in
+  Cover.of_cubes (Cover.universe cover) (filter [] (Cover.cubes cover))
+
+(* REDUCE: each cube shrinks to the supercube of the onset points it alone
+   covers. The uncovered part of [c] is c AND NOT(others), computed in the
+   subspace of [c] via cofactoring and recursive complementation. *)
+let reduce ~onset =
+  let n = Cover.universe onset in
+  let rec walk done_ = function
+    | [] -> List.rev done_
+    | c :: rest ->
+        let others = Cover.of_cubes n (List.rev_append done_ rest) in
+        let inside = cofactor_cover others c in
+        let uncovered = complement inside in
+        let reduced =
+          match supercube uncovered with
+          | None ->
+              (* fully covered by the others: keep for irredundant to drop *)
+              c
+          | Some s -> (
+              match Cube.intersect c s with Some r -> r | None -> c)
+        in
+        walk (reduced :: done_) rest
+  in
+  Cover.of_cubes n (walk [] (Cover.cubes onset))
+
+let cover_cost c = (Cover.num_cubes c, Cover.num_literals c)
+
+let minimize ?(max_rounds = 4) ?(use_reduce = false) ~onset ~offset () =
+  let rec loop round best =
+    if round >= max_rounds then best
+    else begin
+      let candidate =
+        best
+        |> (fun c -> if use_reduce && round > 0 then reduce ~onset:c else c)
+        |> (fun c -> expand ~onset:c ~offset)
+        |> Cover.merge_pass |> irredundant
+      in
+      if cover_cost candidate < cover_cost best then loop (round + 1) candidate
+      else best
+    end
+  in
+  loop 0 (Cover.merge_pass onset)
+
+let consistent ~cover ~onset ~offset =
+  List.for_all (fun c -> covers_cube cover c) (Cover.cubes onset)
+  && List.for_all
+       (fun c -> not (intersects_cover c offset))
+       (Cover.cubes cover)

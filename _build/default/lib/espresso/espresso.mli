@@ -1,0 +1,68 @@
+(** Two-level logic minimization in the espresso style.
+
+    The FBDT learner naturally produces {e both} an onset cover (cubes of
+    constant-1 leaves) and an offset cover (cubes of constant-0 leaves);
+    everything outside both is don't-care from the learner's point of view.
+    This module shrinks the onset cover against the offset:
+
+    - {b expand}: greedily remove literals from each cube as long as the
+      enlarged cube stays disjoint from the offset;
+    - {b irredundant}: drop cubes covered by the rest of the cover;
+    - {b merge}: adjacency-law merging (from {!Lr_cube.Cover.merge_pass});
+    - {b reduce} (optional): shrink cubes to their essential parts so the
+      next expand can move them — the escape hatch from local minima.
+
+    Iterated to a bounded fixpoint this is the classic espresso loop.
+    Decision-tree covers have pairwise-disjoint cubes, so REDUCE is off by
+    default in the learner's use. *)
+
+val tautology : Lr_cube.Cover.t -> bool
+(** Exact cover tautology check by recursive Shannon splitting. *)
+
+val covers_cube : Lr_cube.Cover.t -> Lr_cube.Cube.t -> bool
+(** Does the cover contain every minterm of the cube? *)
+
+val cofactor_cover : Lr_cube.Cover.t -> Lr_cube.Cube.t -> Lr_cube.Cover.t
+(** The cover seen inside the cube's subspace (conflicting cubes dropped,
+    the cube's literals erased). *)
+
+val complement : Lr_cube.Cover.t -> Lr_cube.Cover.t
+(** Recursive (Shannon) complementation of a cover — works on any universe
+    size, unlike {!Lr_cube.Cover.complement_exhaustive}. The result is a
+    correct cover of the complement, not necessarily minimal. *)
+
+val supercube : Lr_cube.Cover.t -> Lr_cube.Cube.t option
+(** Smallest single cube containing every cube of the cover
+    ([None] for the empty cover). *)
+
+val expand : onset:Lr_cube.Cover.t -> offset:Lr_cube.Cover.t -> Lr_cube.Cover.t
+val irredundant : Lr_cube.Cover.t -> Lr_cube.Cover.t
+
+val reduce : onset:Lr_cube.Cover.t -> Lr_cube.Cover.t
+(** The espresso REDUCE step: shrink each cube to the smallest cube still
+    covering the part of the onset no other cube covers. Reduction opens
+    room for the next EXPAND to escape a local minimum. Semantics are
+    preserved with respect to the onset (don't-care points may be given
+    up). *)
+
+val minimize :
+  ?max_rounds:int ->
+  ?use_reduce:bool ->
+  onset:Lr_cube.Cover.t ->
+  offset:Lr_cube.Cover.t ->
+  unit ->
+  Lr_cube.Cover.t
+(** The full loop: (REDUCE ->) EXPAND -> merge -> IRREDUNDANT, iterated
+    while the cost drops. [use_reduce] (default false) enables the REDUCE
+    perturbation from round two onward — it helps escape local minima on
+    hand-crafted PLAs but is a no-op on the disjoint covers a decision tree
+    produces. The result covers every onset cube and intersects no offset
+    cube (don't-care points may be absorbed either way). *)
+
+val consistent :
+  cover:Lr_cube.Cover.t ->
+  onset:Lr_cube.Cover.t ->
+  offset:Lr_cube.Cover.t ->
+  bool
+(** Verification predicate used by tests: [cover] ⊇ [onset] and
+    [cover] ∩ [offset] = ∅. *)

@@ -1,0 +1,1 @@
+lib/eval/eval.ml: Array Float List Lr_bitvec Lr_netlist

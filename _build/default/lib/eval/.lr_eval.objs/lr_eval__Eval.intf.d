@@ -1,0 +1,1 @@
+lib/eval/eval.mli: Lr_bitvec Lr_netlist

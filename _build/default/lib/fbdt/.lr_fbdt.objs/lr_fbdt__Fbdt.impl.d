@@ -1,0 +1,1 @@
+lib/fbdt/fbdt.ml: Array Buffer Float Fun List Lr_bitvec Lr_cube Lr_sampling Oracle Printf Queue

@@ -1,0 +1,1 @@
+lib/fbdt/fbdt.mli: Lr_bitvec Lr_cube Oracle

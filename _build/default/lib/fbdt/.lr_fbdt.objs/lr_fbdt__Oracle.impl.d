@@ -1,0 +1,1 @@
+lib/fbdt/oracle.ml: Array Lr_bitvec

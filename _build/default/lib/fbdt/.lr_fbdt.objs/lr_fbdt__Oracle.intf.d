@@ -1,0 +1,1 @@
+lib/fbdt/oracle.mli: Lr_bitvec

@@ -1,0 +1,8 @@
+type t = {
+  arity : int;
+  query : Lr_bitvec.Bv.t array -> bool array;
+  exhausted : unit -> bool;
+}
+
+let of_fun ~arity f =
+  { arity; query = Array.map f; exhausted = (fun () -> false) }

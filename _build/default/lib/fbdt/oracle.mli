@@ -1,0 +1,17 @@
+(** A single-output query oracle over a {e virtual} input space.
+
+    The FBDT learner is generic over what an "input" is: for a plain output
+    it is the black-box's primary inputs; after comparator-based input
+    compression some virtual inputs are {e delegates} standing for whole
+    bus pairs. The learner only needs to ask "what is the output under this
+    virtual assignment?", batched, and "is the budget spent?". *)
+
+type t = {
+  arity : int;  (** number of virtual inputs *)
+  query : Lr_bitvec.Bv.t array -> bool array;
+      (** batched: one [arity]-bit virtual assignment per element *)
+  exhausted : unit -> bool;  (** the TimeLimit test of Algorithm 2 *)
+}
+
+val of_fun : arity:int -> (Lr_bitvec.Bv.t -> bool) -> t
+(** Convenience constructor with no budget (never exhausted). *)

@@ -1,0 +1,1 @@
+lib/grouping/grouping.ml: Array Fun Hashtbl List String

@@ -1,0 +1,1 @@
+lib/grouping/grouping.mli:

@@ -1,0 +1,95 @@
+type vector = {
+  base : string;
+  bits : int array;
+  declared_indices : int array;
+}
+
+type t = { vectors : vector list; scalars : int list }
+
+let is_digit c = c >= '0' && c <= '9'
+
+let parse_name name =
+  let n = String.length name in
+  if n = 0 then None
+  else if name.[n - 1] = ']' then begin
+    (* base[idx] *)
+    match String.rindex_opt name '[' with
+    | None -> None
+    | Some lb ->
+        let digits = String.sub name (lb + 1) (n - lb - 2) in
+        if digits = "" || not (String.for_all is_digit digits) || lb = 0 then
+          None
+        else Some (String.sub name 0 lb, int_of_string digits)
+  end
+  else begin
+    (* base_idx or baseidx: strip trailing digits *)
+    let rec first_digit i =
+      if i > 0 && is_digit name.[i - 1] then first_digit (i - 1) else i
+    in
+    let d = first_digit n in
+    if d = n || d = 0 then None
+    else
+      let idx = int_of_string (String.sub name d (n - d)) in
+      let stem =
+        if name.[d - 1] = '_' && d > 1 then String.sub name 0 (d - 1)
+        else String.sub name 0 d
+      in
+      Some (stem, idx)
+  end
+
+let group names =
+  let order = Hashtbl.create 16 in
+  let members : (string, (int * int) list ref) Hashtbl.t = Hashtbl.create 16 in
+  let next_rank = ref 0 in
+  Array.iteri
+    (fun sig_idx name ->
+      match parse_name name with
+      | None -> ()
+      | Some (base, bit_idx) -> (
+          match Hashtbl.find_opt members base with
+          | Some l -> l := (sig_idx, bit_idx) :: !l
+          | None ->
+              Hashtbl.replace members base (ref [ (sig_idx, bit_idx) ]);
+              Hashtbl.replace order base !next_rank;
+              incr next_rank))
+    names;
+  let grouped = Hashtbl.create 16 in
+  let vectors =
+    Hashtbl.fold (fun base l acc -> (base, List.rev !l) :: acc) members []
+    |> List.sort (fun (a, _) (b, _) ->
+           compare (Hashtbl.find order a) (Hashtbl.find order b))
+    |> List.filter_map (fun (base, pairs) ->
+           let indices = List.map snd pairs in
+           let distinct = List.sort_uniq compare indices in
+           if List.length pairs < 2 || List.length distinct <> List.length pairs
+           then None
+           else begin
+             let sorted =
+               List.sort (fun (_, i) (_, j) -> compare i j) pairs
+             in
+             List.iter (fun (s, _) -> Hashtbl.replace grouped s ()) sorted;
+             Some
+               {
+                 base;
+                 bits = Array.of_list (List.map fst sorted);
+                 declared_indices = Array.of_list (List.map snd sorted);
+               }
+           end)
+  in
+  let scalars =
+    List.init (Array.length names) Fun.id
+    |> List.filter (fun s -> not (Hashtbl.mem grouped s))
+  in
+  { vectors; scalars }
+
+let vector_value v read =
+  let w = Array.length v.bits in
+  if w > 62 then invalid_arg "Grouping.vector_value: vector too wide";
+  let acc = ref 0 in
+  for k = w - 1 downto 0 do
+    acc := (!acc lsl 1) lor (if read v.bits.(k) then 1 else 0)
+  done;
+  !acc
+
+let set_vector v write value =
+  Array.iteri (fun k s -> write s ((value lsr k) land 1 = 1)) v.bits

@@ -1,0 +1,41 @@
+(** Name-based grouping — Section IV-A of the paper.
+
+    Industrial netlists name datapath bits systematically: [addr[7]],
+    [addr_7], [addr7]. Signals sharing a base name are grouped into a
+    vector representing the integer [N_v = sum 2^k * bit_k], where bit
+    significance follows the declared index ([a2 a1 a0] with
+    [(1,1,0) -> 6], as in the paper's Example 1).
+
+    Non-contiguous or duplicated indices are tolerated: bits are ranked by
+    declared index and significance is the rank, which matches the intended
+    semantics for the common contiguous case and degrades gracefully
+    otherwise. Bases with a single member, or whose members' indices
+    collide, stay scalars. *)
+
+type vector = {
+  base : string;  (** shared name prefix *)
+  bits : int array;
+      (** [bits.(k)] = signal index (into the name array) with weight [2^k] *)
+  declared_indices : int array;  (** original per-bit indices, same order *)
+}
+
+type t = {
+  vectors : vector list;  (** in order of first appearance *)
+  scalars : int list;  (** signal indices not absorbed into any vector *)
+}
+
+val parse_name : string -> (string * int) option
+(** [parse_name "a[3]" = Some ("a", 3)], likewise ["a_3"] and ["a3"];
+    [None] when the name carries no trailing index. *)
+
+val group : string array -> t
+(** Group a PI or PO name array. Every signal appears in exactly one place:
+    some vector's [bits] or [scalars]. *)
+
+val vector_value : vector -> (int -> bool) -> int
+(** [vector_value v read] decodes the integer given a bit reader over signal
+    indices. Requires [Array.length v.bits <= 62]. *)
+
+val set_vector : vector -> (int -> bool -> unit) -> int -> unit
+(** [set_vector v write value] writes the binary encoding of [value] into
+    the vector's signals via [write]. *)

@@ -1,0 +1,1 @@
+lib/netlist/analysis.ml: Array Float Hashtbl Int64 List Lr_bdd Lr_bitvec Netlist

@@ -1,0 +1,1 @@
+lib/netlist/analysis.mli: Lr_bitvec Netlist

@@ -1,0 +1,1 @@
+lib/netlist/blif.ml: Array Buffer Builder Fun Hashtbl List Lr_cube Netlist Printf String

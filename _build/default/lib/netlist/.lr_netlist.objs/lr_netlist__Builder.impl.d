@@ -1,0 +1,1 @@
+lib/netlist/builder.ml: Array List Lr_cube Netlist

@@ -1,0 +1,1 @@
+lib/netlist/dot.ml: Array Buffer Fun List Netlist Printf String

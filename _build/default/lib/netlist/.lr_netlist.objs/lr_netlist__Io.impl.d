@@ -1,0 +1,1 @@
+lib/netlist/io.ml: Array Buffer Fun Hashtbl List Netlist Printf String

@@ -1,0 +1,1 @@
+lib/netlist/netlist.ml: Array Hashtbl Int64 List Lr_bitvec

@@ -1,0 +1,209 @@
+module N = Netlist
+module Cube = Lr_cube.Cube
+module Cover = Lr_cube.Cover
+
+let write ?(model = "learned") c =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add ".model %s\n" model;
+  add ".inputs %s\n" (String.concat " " (Array.to_list (N.input_names c)));
+  add ".outputs %s\n" (String.concat " " (Array.to_list (N.output_names c)));
+  let reach = Array.make (N.num_nodes c) false in
+  let rec visit n =
+    if not reach.(n) then begin
+      reach.(n) <- true;
+      match N.gate c n with
+      | N.Const _ | N.Input _ -> ()
+      | N.Not a -> visit a
+      | N.And2 (a, b) | N.Or2 (a, b) | N.Xor2 (a, b) | N.Nand2 (a, b)
+      | N.Nor2 (a, b) | N.Xnor2 (a, b) ->
+          visit a;
+          visit b
+    end
+  in
+  for o = 0 to N.num_outputs c - 1 do
+    visit (N.output c o)
+  done;
+  let name n =
+    match N.gate c n with
+    | N.Input i -> (N.input_names c).(i)
+    | N.Const _ | N.Not _ | N.And2 _ | N.Or2 _ | N.Xor2 _ | N.Nand2 _
+    | N.Nor2 _ | N.Xnor2 _ ->
+        Printf.sprintf "n%d" n
+  in
+  for n = 0 to N.num_nodes c - 1 do
+    if reach.(n) then begin
+      let table2 a b rows =
+        add ".names %s %s %s\n" (name a) (name b) (name n);
+        List.iter (fun r -> add "%s 1\n" r) rows
+      in
+      match N.gate c n with
+      | N.Input _ -> ()
+      | N.Const false -> add ".names %s\n" (name n)
+      | N.Const true -> add ".names %s\n1\n" (name n)
+      | N.Not a -> add ".names %s %s\n0 1\n" (name a) (name n)
+      | N.And2 (a, b) -> table2 a b [ "11" ]
+      | N.Or2 (a, b) -> table2 a b [ "1-"; "-1" ]
+      | N.Xor2 (a, b) -> table2 a b [ "10"; "01" ]
+      | N.Nand2 (a, b) -> table2 a b [ "0-"; "-0" ]
+      | N.Nor2 (a, b) -> table2 a b [ "00" ]
+      | N.Xnor2 (a, b) -> table2 a b [ "11"; "00" ]
+    end
+  done;
+  (* output buffers *)
+  for o = 0 to N.num_outputs c - 1 do
+    let po = (N.output_names c).(o) in
+    add ".names %s %s\n1 1\n" (name (N.output c o)) po
+  done;
+  add ".end\n";
+  Buffer.contents buf
+
+let fail fmt = Printf.ksprintf failwith fmt
+
+type table = { fanins : string list; out : string; rows : (string * char) list }
+
+let read text =
+  (* join continuation lines, strip comments *)
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map (fun l ->
+           match String.index_opt l '#' with
+           | Some i -> String.sub l 0 i
+           | None -> l)
+  in
+  let joined =
+    List.fold_left
+      (fun (acc, pending) line ->
+        let line = pending ^ line in
+        if String.length line > 0 && line.[String.length line - 1] = '\\' then
+          (acc, String.sub line 0 (String.length line - 1))
+        else (line :: acc, ""))
+      ([], "") lines
+    |> fun (acc, pending) ->
+    List.rev (if pending = "" then acc else pending :: acc)
+  in
+  let words l =
+    String.split_on_char ' ' l
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun w -> w <> "")
+  in
+  let inputs = ref [] and outputs = ref [] in
+  let tables = ref [] in
+  let current = ref None in
+  let flush () =
+    match !current with
+    | Some t -> tables := { t with rows = List.rev t.rows } :: !tables
+    | None -> ()
+  in
+  List.iter
+    (fun line ->
+      match words line with
+      | [] -> ()
+      | ".model" :: _ -> ()
+      | ".inputs" :: names -> inputs := !inputs @ names
+      | ".outputs" :: names -> outputs := !outputs @ names
+      | ".names" :: signals -> (
+          flush ();
+          match List.rev signals with
+          | out :: rev_fanins ->
+              current := Some { fanins = List.rev rev_fanins; out; rows = [] }
+          | [] -> fail "Blif.read: .names with no signals")
+      | ".end" :: _ -> flush ()
+      | (".latch" | ".subckt" | ".gate") :: _ ->
+          fail "Blif.read: sequential/hierarchical BLIF not supported"
+      | [ pattern; value ] when String.length value = 1 -> (
+          match !current with
+          | Some t -> current := Some { t with rows = (pattern, value.[0]) :: t.rows }
+          | None -> fail "Blif.read: table row outside .names")
+      | [ single ] -> (
+          (* constant table row: output column only *)
+          match !current with
+          | Some t when t.fanins = [] ->
+              current := Some { t with rows = (("", single.[0])) :: t.rows }
+          | Some _ -> fail "Blif.read: missing output column in row %S" single
+          | None -> fail "Blif.read: table row outside .names")
+      | w :: _ ->
+          if String.length w > 0 && w.[0] = '.' then
+            fail "Blif.read: unsupported directive %s" w
+          else fail "Blif.read: malformed line %S" line)
+    joined;
+  flush ();
+  let tables = List.rev !tables in
+  let input_names = Array.of_list !inputs in
+  let output_names = Array.of_list !outputs in
+  let c = N.create ~input_names ~output_names in
+  let by_output = Hashtbl.create 64 in
+  List.iter (fun t -> Hashtbl.replace by_output t.out t) tables;
+  let resolved = Hashtbl.create 64 in
+  Array.iteri
+    (fun i name -> Hashtbl.replace resolved name (N.input c i))
+    input_names;
+  let rec node_of ?(stack = []) name =
+    match Hashtbl.find_opt resolved name with
+    | Some n -> n
+    | None ->
+        if List.mem name stack then fail "Blif.read: combinational cycle at %s" name;
+        let t =
+          match Hashtbl.find_opt by_output name with
+          | Some t -> t
+          | None -> fail "Blif.read: undriven signal %s" name
+        in
+        let fanin_nodes =
+          List.map (node_of ~stack:(name :: stack)) t.fanins
+          |> Array.of_list
+        in
+        let k = Array.length fanin_nodes in
+        let onset_rows, offset_rows =
+          List.partition (fun (_, v) -> v = '1') t.rows
+        in
+        let cover_of rows =
+          Cover.of_cubes k
+            (List.map
+               (fun (pattern, _) ->
+                 if String.length pattern <> k then
+                   fail "Blif.read: row width mismatch in table for %s" name;
+                 (* BLIF row order: leftmost char = first fanin *)
+                 let cube = ref (Cube.top k) in
+                 String.iteri
+                   (fun i ch ->
+                     match ch with
+                     | '1' -> cube := Cube.add !cube i true
+                     | '0' -> cube := Cube.add !cube i false
+                     | '-' -> ()
+                     | _ -> fail "Blif.read: bad pattern char %c" ch)
+                   pattern;
+                 !cube)
+               rows)
+        in
+        let n =
+          match onset_rows, offset_rows with
+          | [], [] -> N.const_false c
+          | rows, [] ->
+              if k = 0 then N.const_true c
+              else Builder.sop c fanin_nodes (cover_of rows)
+          | [], rows ->
+              if k = 0 then N.const_false c
+              else N.not_ c (Builder.sop c fanin_nodes (cover_of rows))
+          | _ :: _, _ :: _ ->
+              fail "Blif.read: mixed-polarity table for %s" name
+        in
+        Hashtbl.replace resolved name n;
+        n
+  in
+  Array.iteri (fun o name -> N.set_output c o (node_of name)) output_names;
+  c
+
+let write_file ?model c path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (write ?model c))
+
+let read_file path =
+  let ic = open_in path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  read text

@@ -1,0 +1,20 @@
+(** Berkeley Logic Interchange Format (combinational subset).
+
+    Reads and writes the `.model/.inputs/.outputs/.names` BLIF dialect that
+    ABC, SIS and most academic tools speak, so real benchmark suites (e.g.
+    the original contest's published circuits, ISCAS/MCNC netlists) can be
+    loaded and used as black-boxes.
+
+    On input, each [.names] table (a single-output PLA over the node's
+    fanins) is synthesised into 2-input gates via {!Builder.sop}. Latches
+    and [.subckt] are rejected — the contest problem is combinational. *)
+
+val write : ?model:string -> Netlist.t -> string
+(** Emit BLIF. Every internal 2-input gate becomes a [.names] table. *)
+
+val read : string -> Netlist.t
+(** Parse BLIF. Raises [Failure] with a line-tagged message on malformed
+    input, latches, or unsupported constructs. *)
+
+val write_file : ?model:string -> Netlist.t -> string -> unit
+val read_file : string -> Netlist.t

@@ -1,0 +1,1 @@
+lib/sampling/pattern_sampling.ml: Array Float Fun List Lr_bitvec Lr_blackbox Lr_cube

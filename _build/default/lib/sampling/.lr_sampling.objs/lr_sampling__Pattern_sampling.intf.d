@@ -1,0 +1,1 @@
+lib/sampling/pattern_sampling.mli: Lr_bitvec Lr_blackbox Lr_cube

@@ -1,0 +1,70 @@
+type cnf = { num_vars : int; clauses : int list list }
+
+let to_string t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "p cnf %d %d\n" t.num_vars (List.length t.clauses));
+  List.iter
+    (fun clause ->
+      List.iter (fun l -> Buffer.add_string buf (Printf.sprintf "%d " l)) clause;
+      Buffer.add_string buf "0\n")
+    t.clauses;
+  Buffer.contents buf
+
+let of_string text =
+  let tokens =
+    String.split_on_char '\n' text
+    |> List.filter (fun l ->
+           let l = String.trim l in
+           l <> "" && l.[0] <> 'c')
+    |> List.concat_map (fun l ->
+           String.split_on_char ' ' l
+           |> List.concat_map (String.split_on_char '\t')
+           |> List.filter (fun w -> w <> ""))
+  in
+  match tokens with
+  | "p" :: "cnf" :: nv :: _nc :: rest ->
+      let num_vars =
+        match int_of_string_opt nv with
+        | Some v when v >= 0 -> v
+        | _ -> failwith "Dimacs.of_string: bad variable count"
+      in
+      let clauses = ref [] and current = ref [] in
+      List.iter
+        (fun tok ->
+          match int_of_string_opt tok with
+          | None -> failwith ("Dimacs.of_string: bad token " ^ tok)
+          | Some 0 ->
+              clauses := List.rev !current :: !clauses;
+              current := []
+          | Some l ->
+              if abs l > num_vars then
+                failwith "Dimacs.of_string: literal out of range";
+              current := l :: !current)
+        rest;
+      if !current <> [] then failwith "Dimacs.of_string: unterminated clause";
+      { num_vars; clauses = List.rev !clauses }
+  | _ -> failwith "Dimacs.of_string: missing p cnf header"
+
+let solve t =
+  let s = Sat.create () in
+  for _ = 1 to t.num_vars do
+    ignore (Sat.new_var s)
+  done;
+  List.iter (Sat.add_clause s) t.clauses;
+  Sat.solve s
+
+let write_file t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))
+
+let read_file path =
+  let ic = open_in path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  of_string text

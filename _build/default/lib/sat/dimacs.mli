@@ -1,0 +1,20 @@
+(** DIMACS CNF interchange.
+
+    Lets the embedded CDCL solver trade instances with external SAT tools
+    (kissat, minisat, ...) — both for debugging the solver against a
+    reference and for shipping hard fraig/CEC queries out. *)
+
+type cnf = { num_vars : int; clauses : int list list }
+
+val to_string : cnf -> string
+(** Standard [p cnf] header + one zero-terminated clause per line. *)
+
+val of_string : string -> cnf
+(** Parse DIMACS. Comment lines ([c ...]) ignored; clauses may span lines.
+    Raises [Failure] on malformed input or literals out of range. *)
+
+val solve : cnf -> Sat.result
+(** Load into a fresh solver and decide. *)
+
+val write_file : cnf -> string -> unit
+val read_file : string -> cnf

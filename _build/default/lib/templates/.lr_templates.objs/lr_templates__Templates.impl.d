@@ -1,0 +1,1 @@
+lib/templates/templates.ml: Array Fun Hashtbl Int64 List Lr_bitvec Lr_blackbox Lr_cube Lr_grouping Option

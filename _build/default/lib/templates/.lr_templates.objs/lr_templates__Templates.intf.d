@@ -1,0 +1,1 @@
+lib/templates/templates.mli: Lr_bitvec Lr_blackbox Lr_cube Lr_grouping

@@ -1,0 +1,1 @@
+test/test_aig.ml: Alcotest Array Int64 List Lr_aig Lr_bitvec Lr_netlist Printf QCheck QCheck_alcotest

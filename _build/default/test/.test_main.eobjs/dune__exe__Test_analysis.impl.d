@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array Float List Lr_bitvec Lr_cases Lr_cube Lr_eval Lr_netlist Lr_sampling Lr_sat Printf

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Logic_regression Lr_baselines Lr_bitvec Lr_blackbox Lr_cases Lr_eval Lr_netlist

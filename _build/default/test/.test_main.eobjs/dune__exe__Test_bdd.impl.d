@@ -1,0 +1,1 @@
+test/test_bdd.ml: Alcotest List Lr_bdd Lr_bitvec Lr_cube QCheck QCheck_alcotest String

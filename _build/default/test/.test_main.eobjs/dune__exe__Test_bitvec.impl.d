@@ -1,0 +1,1 @@
+test/test_bitvec.ml: Alcotest Float Gen List Lr_bitvec Printf QCheck QCheck_alcotest String

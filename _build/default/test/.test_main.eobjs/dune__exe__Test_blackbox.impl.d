@@ -1,0 +1,1 @@
+test/test_blackbox.ml: Alcotest Array Lr_bitvec Lr_blackbox Lr_netlist

@@ -1,0 +1,1 @@
+test/test_cases.ml: Alcotest Array List Lr_bitvec Lr_cases Lr_grouping Lr_netlist Printf

@@ -1,0 +1,1 @@
+test/test_cover2.ml: Alcotest Format Fun List Lr_bitvec Lr_cube Printf QCheck QCheck_alcotest String

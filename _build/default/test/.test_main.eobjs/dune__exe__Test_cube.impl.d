@@ -1,0 +1,1 @@
+test/test_cube.ml: Alcotest Fun List Lr_bitvec Lr_cube QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_dot.ml: Alcotest Lr_netlist String

@@ -1,0 +1,1 @@
+test/test_equiv.ml: Alcotest Array List Logic_regression Lr_aig Lr_bitvec Lr_cases Lr_netlist Printf QCheck QCheck_alcotest

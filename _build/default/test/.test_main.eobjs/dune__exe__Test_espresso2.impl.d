@@ -1,0 +1,1 @@
+test/test_espresso2.ml: Alcotest Fun List Lr_bitvec Lr_cube Lr_espresso QCheck QCheck_alcotest String

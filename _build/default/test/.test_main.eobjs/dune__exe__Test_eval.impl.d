@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Array Float Lr_bitvec Lr_eval Lr_netlist Printf

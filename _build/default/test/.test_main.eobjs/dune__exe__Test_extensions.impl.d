@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest List Logic_regression Lr_aig Lr_bitvec Lr_cases Lr_eval Lr_grouping Lr_netlist Lr_templates

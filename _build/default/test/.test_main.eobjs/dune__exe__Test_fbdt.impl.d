@@ -1,0 +1,1 @@
+test/test_fbdt.ml: Alcotest Array Fun List Lr_bitvec Lr_cube Lr_fbdt Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_formats.ml: Alcotest Array Fun Int64 List Lr_aig Lr_bitvec Lr_netlist Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_generators.ml: Alcotest List Logic_regression Lr_aig Lr_bitvec Lr_blackbox Lr_cases Lr_grouping Lr_netlist

@@ -1,0 +1,1 @@
+test/test_grouping.ml: Alcotest Array Hashtbl List Lr_grouping Printf

@@ -1,0 +1,1 @@
+test/test_learner.ml: Alcotest Array Char List Logic_regression Lr_aig Lr_bitvec Lr_blackbox Lr_cases Lr_eval Lr_netlist Printf QCheck QCheck_alcotest

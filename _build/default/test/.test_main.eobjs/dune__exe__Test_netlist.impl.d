@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array List Lr_bitvec Lr_cube Lr_netlist Printf QCheck QCheck_alcotest

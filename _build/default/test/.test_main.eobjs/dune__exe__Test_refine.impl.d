@@ -1,0 +1,1 @@
+test/test_refine.ml: Alcotest Array Char Logic_regression Lr_bitvec Lr_blackbox Lr_eval Lr_netlist Printf

@@ -1,0 +1,1 @@
+test/test_rewrite.ml: Alcotest Array Fun List Lr_aig Lr_bitvec Lr_netlist Printf QCheck QCheck_alcotest

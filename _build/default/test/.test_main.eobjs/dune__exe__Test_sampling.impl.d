@@ -1,0 +1,1 @@
+test/test_sampling.ml: Alcotest Array List Lr_bitvec Lr_blackbox Lr_cube Lr_netlist Lr_sampling Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Array List Lr_sat QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_templates.ml: Alcotest List Lr_bitvec Lr_blackbox Lr_cases Lr_grouping Lr_templates

@@ -1,0 +1,1 @@
+test/test_templates2.ml: Alcotest Array List Lr_bitvec Lr_blackbox Lr_cases Lr_grouping Lr_netlist Lr_templates Printf

@@ -1,0 +1,91 @@
+module Rng = Lr_bitvec.Rng
+module N = Lr_netlist.Netlist
+module Cases = Lr_cases.Cases
+module Eval = Lr_eval.Eval
+module Baselines = Lr_baselines.Baselines
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let run_baseline baseline name =
+  let spec = Cases.find name in
+  let box = Cases.blackbox spec in
+  let candidate = baseline ~rng:(Rng.create 42) box in
+  let golden = Cases.build spec in
+  let acc =
+    Eval.accuracy ~count:4000 ~rng:(Rng.create 999) ~golden ~candidate ()
+  in
+  (candidate, acc)
+
+let test_sop_shapes () =
+  let spec = Cases.find "case_7" in
+  let box = Cases.blackbox spec in
+  let c = Baselines.sop_memorizer ~samples:256 ~rng:(Rng.create 1) box in
+  check_int "PI preserved" spec.Cases.num_inputs (N.num_inputs c);
+  check_int "PO preserved" spec.Cases.num_outputs (N.num_outputs c)
+
+let test_sop_learns_easy_case () =
+  let _, acc = run_baseline (fun ~rng box -> Baselines.sop_memorizer ~samples:1024 ~rng box) "case_13" in
+  (* a 3-input-support function: memorisation covers the space *)
+  check "accurate on trivial case" true (acc > 0.95)
+
+let test_id3_learns_easy_case () =
+  let _, acc = run_baseline (fun ~rng box -> Baselines.id3_tree ~samples:2048 ~rng box) "case_13" in
+  check "accurate on trivial case" true (acc > 0.95)
+
+let test_id3_beats_memorizer_on_balanced_functions () =
+  (* case_16's comparator outputs are balanced: memorisation covers only
+     the sampled minterms while the tree generalises across the bus *)
+  let _, acc_sop = run_baseline (fun ~rng box -> Baselines.sop_memorizer ~samples:1024 ~rng box) "case_16" in
+  let _, acc_id3 = run_baseline (fun ~rng box -> Baselines.id3_tree ~samples:2048 ~rng box) "case_16" in
+  check "id3 generalises better" true (acc_id3 > acc_sop)
+
+let test_both_collapse_on_wide_support () =
+  (* case_9 (ECO, 48-wide xor-rich supports) is the case no contestant
+     solved: both baseline families must collapse *)
+  let _, acc_sop = run_baseline (fun ~rng box -> Baselines.sop_memorizer ~samples:512 ~rng box) "case_9" in
+  let _, acc_id3 = run_baseline (fun ~rng box -> Baselines.id3_tree ~samples:512 ~rng box) "case_9" in
+  check "memorizer collapses" true (acc_sop < 0.5);
+  check "id3 collapses" true (acc_id3 < 0.5)
+
+let test_baselines_are_bigger_than_learner () =
+  let spec = Cases.find "case_4" in
+  let golden = Cases.build spec in
+  ignore golden;
+  let box = Cases.blackbox spec in
+  let sop = Baselines.sop_memorizer ~samples:1024 ~rng:(Rng.create 7) box in
+  let config =
+    {
+      Logic_regression.Config.default with
+      Logic_regression.Config.support_rounds = 192;
+      max_tree_nodes = 512;
+      optimize_rounds = 1;
+    }
+  in
+  let ours =
+    (Logic_regression.Learner.learn ~config (Cases.blackbox spec))
+      .Logic_regression.Learner.circuit
+  in
+  check "memorizer circuit much larger" true (N.size sop > 3 * N.size ours)
+
+let test_query_accounting () =
+  let spec = Cases.find "case_13" in
+  let box = Cases.blackbox spec in
+  ignore (Baselines.sop_memorizer ~samples:512 ~support_rounds:32 ~rng:(Rng.create 3) box);
+  let used = Lr_blackbox.Blackbox.queries_used box in
+  (* 32 rounds * (43+1 inputs) + 512 samples *)
+  check_int "queries counted" ((32 * 44) + 512) used
+
+let tests =
+  [
+    Alcotest.test_case "memorizer preserves shapes" `Quick test_sop_shapes;
+    Alcotest.test_case "memorizer solves trivial case" `Quick test_sop_learns_easy_case;
+    Alcotest.test_case "id3 solves trivial case" `Quick test_id3_learns_easy_case;
+    Alcotest.test_case "id3 generalises better on balanced functions" `Quick
+      test_id3_beats_memorizer_on_balanced_functions;
+    Alcotest.test_case "both baselines collapse on case_9" `Quick
+      test_both_collapse_on_wide_support;
+    Alcotest.test_case "baseline circuits dwarf the learner's" `Quick
+      test_baselines_are_bigger_than_learner;
+    Alcotest.test_case "baseline query accounting" `Quick test_query_accounting;
+  ]

@@ -1,0 +1,127 @@
+module Bv = Lr_bitvec.Bv
+module Bdd = Lr_bdd.Bdd
+module Cube = Lr_cube.Cube
+module Cover = Lr_cube.Cover
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let all_inputs n = List.init (1 lsl n) (fun m -> Bv.of_int ~width:n m)
+
+let test_basics () =
+  let m = Bdd.man ~nvars:3 in
+  let x0 = Bdd.var m 0 and x1 = Bdd.var m 1 in
+  let f = Bdd.and_ m x0 x1 in
+  check "11 true" true (Bdd.eval m f (Bv.of_string "011"));
+  check "01 false" false (Bdd.eval m f (Bv.of_string "001"));
+  check "hash consing" true (Bdd.equal f (Bdd.and_ m x1 x0));
+  check "involution of not" true (Bdd.equal f (Bdd.not_ m (Bdd.not_ m f)))
+
+let test_xor_ite () =
+  let m = Bdd.man ~nvars:2 in
+  let x0 = Bdd.var m 0 and x1 = Bdd.var m 1 in
+  let f = Bdd.xor_ m x0 x1 in
+  let g = Bdd.ite m x0 (Bdd.not_ m x1) x1 in
+  check "xor = ite(x0,~x1,x1)" true (Bdd.equal f g)
+
+let test_cofactor () =
+  let m = Bdd.man ~nvars:3 in
+  let f =
+    Bdd.or_ m
+      (Bdd.and_ m (Bdd.var m 0) (Bdd.var m 1))
+      (Bdd.and_ m (Bdd.nvar m 0) (Bdd.var m 2))
+  in
+  let f1 = Bdd.cofactor m f 0 true in
+  check "positive cofactor" true (Bdd.equal f1 (Bdd.var m 1));
+  let f0 = Bdd.cofactor m f 0 false in
+  check "negative cofactor" true (Bdd.equal f0 (Bdd.var m 2))
+
+let test_support_size_minterms () =
+  let m = Bdd.man ~nvars:4 in
+  let f = Bdd.and_ m (Bdd.var m 1) (Bdd.var m 3) in
+  Alcotest.(check (list int)) "support" [ 1; 3 ] (Bdd.support m f);
+  check_int "two nodes" 2 (Bdd.size m f);
+  Alcotest.(check (float 0.001)) "minterms" 4.0 (Bdd.count_minterms m f)
+
+let test_isop_simple () =
+  let m = Bdd.man ~nvars:3 in
+  (* f = x0 x1 + ~x0 x2 : a 2-cube irredundant form exists *)
+  let f =
+    Bdd.or_ m
+      (Bdd.and_ m (Bdd.var m 0) (Bdd.var m 1))
+      (Bdd.and_ m (Bdd.nvar m 0) (Bdd.var m 2))
+  in
+  let cover = Bdd.isop m f in
+  check "isop equals f" true
+    (List.for_all
+       (fun a -> Cover.eval cover a = Bdd.eval m f a)
+       (all_inputs 3));
+  check "isop is small" true (Cover.num_cubes cover <= 3)
+
+let gen_bdd n =
+  (* random function via random cover *)
+  QCheck.Gen.(
+    let gen_cube =
+      list_repeat n (oneofl [ '0'; '1'; '-' ]) >|= fun cs ->
+      Cube.of_string (String.init n (fun i -> List.nth cs i))
+    in
+    list_size (int_range 1 6) gen_cube >|= Cover.of_cubes n)
+
+let prop_isop_exact =
+  QCheck.Test.make ~name:"isop reproduces the function exactly" ~count:200
+    (QCheck.make (gen_bdd 5))
+    (fun cover ->
+      let m = Bdd.man ~nvars:5 in
+      let f = Bdd.of_cover m cover in
+      let back = Bdd.isop m f in
+      List.for_all
+        (fun a -> Cover.eval back a = Bdd.eval m f a)
+        (all_inputs 5))
+
+let prop_of_cover_eval =
+  QCheck.Test.make ~name:"of_cover matches cover eval" ~count:200
+    (QCheck.make (gen_bdd 5))
+    (fun cover ->
+      let m = Bdd.man ~nvars:5 in
+      let f = Bdd.of_cover m cover in
+      List.for_all
+        (fun a -> Bdd.eval m f a = Cover.eval cover a)
+        (all_inputs 5))
+
+let prop_demorgan =
+  QCheck.Test.make ~name:"De Morgan holds" ~count:100
+    (QCheck.make QCheck.Gen.(pair (gen_bdd 4) (gen_bdd 4)))
+    (fun (c1, c2) ->
+      let m = Bdd.man ~nvars:4 in
+      let f = Bdd.of_cover m c1 and g = Bdd.of_cover m c2 in
+      Bdd.equal
+        (Bdd.not_ m (Bdd.and_ m f g))
+        (Bdd.or_ m (Bdd.not_ m f) (Bdd.not_ m g)))
+
+let prop_isop_between_respects_bounds =
+  QCheck.Test.make ~name:"isop_between stays within bounds" ~count:100
+    (QCheck.make QCheck.Gen.(pair (gen_bdd 4) (gen_bdd 4)))
+    (fun (c1, c2) ->
+      let m = Bdd.man ~nvars:4 in
+      let a = Bdd.of_cover m c1 and b = Bdd.of_cover m c2 in
+      let lower = Bdd.and_ m a b in
+      let upper = Bdd.or_ m a b in
+      let cover = Bdd.isop_between m ~lower ~upper in
+      List.for_all
+        (fun x ->
+          let v = Cover.eval cover x in
+          (Bdd.eval m lower x <= v) && (v <= Bdd.eval m upper x))
+        (all_inputs 4))
+
+let tests =
+  [
+    Alcotest.test_case "basics & hash consing" `Quick test_basics;
+    Alcotest.test_case "xor via ite" `Quick test_xor_ite;
+    Alcotest.test_case "cofactors" `Quick test_cofactor;
+    Alcotest.test_case "support/size/minterms" `Quick test_support_size_minterms;
+    Alcotest.test_case "isop on a known function" `Quick test_isop_simple;
+    QCheck_alcotest.to_alcotest prop_isop_exact;
+    QCheck_alcotest.to_alcotest prop_of_cover_eval;
+    QCheck_alcotest.to_alcotest prop_demorgan;
+    QCheck_alcotest.to_alcotest prop_isop_between_respects_bounds;
+  ]

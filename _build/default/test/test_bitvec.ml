@@ -1,0 +1,138 @@
+module Bv = Lr_bitvec.Bv
+module Rng = Lr_bitvec.Rng
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let test_set_get () =
+  let v = Bv.create 130 in
+  check "fresh bit is 0" false (Bv.get v 0);
+  Bv.set v 0 true;
+  Bv.set v 64 true;
+  Bv.set v 129 true;
+  check "bit 0" true (Bv.get v 0);
+  check "bit 64 (word boundary)" true (Bv.get v 64);
+  check "bit 129 (last)" true (Bv.get v 129);
+  check "bit 1 untouched" false (Bv.get v 1);
+  Bv.set v 64 false;
+  check "cleared" false (Bv.get v 64);
+  check_int "popcount" 2 (Bv.popcount v)
+
+let test_flip () =
+  let v = Bv.create 70 in
+  Bv.flip v 69;
+  check "flip on" true (Bv.get v 69);
+  Bv.flip v 69;
+  check "flip off" false (Bv.get v 69)
+
+let test_bounds () =
+  let v = Bv.create 10 in
+  Alcotest.check_raises "get out of bounds"
+    (Invalid_argument "Bv: index out of bounds") (fun () ->
+      ignore (Bv.get v 10));
+  Alcotest.check_raises "negative index"
+    (Invalid_argument "Bv: index out of bounds") (fun () ->
+      ignore (Bv.get v (-1)))
+
+let test_int_roundtrip () =
+  List.iter
+    (fun n ->
+      let v = Bv.of_int ~width:16 n in
+      check_int (Printf.sprintf "roundtrip %d" n) n (Bv.to_int v))
+    [ 0; 1; 2; 6; 255; 65535 ]
+
+let test_msb_convention () =
+  (* paper Example 1: (a2,a1,a0) = (1,1,0) encodes 6 *)
+  let v = Bv.of_string "110" in
+  check_int "110 reads 6" 6 (Bv.to_int v);
+  check_str "to_string inverse" "110" (Bv.to_string v)
+
+let test_fill () =
+  let v = Bv.create 100 in
+  Bv.fill v true;
+  check_int "all ones" 100 (Bv.popcount v);
+  Bv.fill v false;
+  check_int "all zeros" 0 (Bv.popcount v)
+
+let test_equal_hash () =
+  let a = Bv.of_string "10101" and b = Bv.of_string "10101" in
+  check "equal" true (Bv.equal a b);
+  check_int "hash equal" (Bv.hash a) (Bv.hash b);
+  Bv.flip b 0;
+  check "unequal after flip" false (Bv.equal a b)
+
+let test_rng_determinism () =
+  let r1 = Rng.create 42 and r2 = Rng.create 42 in
+  let a = Bv.random r1 200 and b = Bv.random r2 200 in
+  check "same seed same draw" true (Bv.equal a b);
+  let c = Bv.random r1 200 in
+  check "stream advances" false (Bv.equal a c)
+
+let test_rng_split_independent () =
+  let r = Rng.create 7 in
+  let s = Rng.split r in
+  let a = Bv.random r 100 and b = Bv.random s 100 in
+  check "split streams differ" false (Bv.equal a b)
+
+let test_biased_density () =
+  let rng = Rng.create 3 in
+  let v = Bv.random_biased rng 0.1 6400 in
+  let density = Float.of_int (Bv.popcount v) /. 6400.0 in
+  check "low bias is sparse" true (density < 0.25);
+  let v = Bv.random_biased rng 0.9 6400 in
+  let density = Float.of_int (Bv.popcount v) /. 6400.0 in
+  check "high bias is dense" true (density > 0.75)
+
+let test_sub_blit () =
+  let v = Bv.of_string "110010" in
+  let s = Bv.sub_bits v [ 1; 4; 5 ] in
+  (* bits: v1=1, v4=1, v5=1 -> s = 111 *)
+  check_str "sub_bits" "111" (Bv.to_string s);
+  let dst = Bv.create 6 in
+  Bv.blit_bits ~src:s ~dst [ 0; 2; 3 ];
+  check "blit bit 0" true (Bv.get dst 0);
+  check "blit bit 2" true (Bv.get dst 2);
+  check "blit bit 3" true (Bv.get dst 3);
+  check "blit leaves others" false (Bv.get dst 1)
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~name:"of_string/to_string roundtrip" ~count:200
+    QCheck.(string_gen_of_size (Gen.int_range 1 80) (Gen.oneofl [ '0'; '1' ]))
+    (fun s -> Bv.to_string (Bv.of_string s) = s)
+
+let prop_popcount =
+  QCheck.Test.make ~name:"popcount matches naive count" ~count:200
+    QCheck.(string_gen_of_size (Gen.int_range 1 200) (Gen.oneofl [ '0'; '1' ]))
+    (fun s ->
+      let v = Bv.of_string s in
+      Bv.popcount v = String.fold_left (fun a c -> if c = '1' then a + 1 else a) 0 s)
+
+let prop_flip_involution =
+  QCheck.Test.make ~name:"double flip is identity" ~count:200
+    QCheck.(pair (int_range 1 100) (int_range 0 1000))
+    (fun (n, seed) ->
+      let v = Bv.random (Rng.create seed) n in
+      let w = Bv.copy v in
+      let i = seed mod n in
+      Bv.flip w i;
+      Bv.flip w i;
+      Bv.equal v w)
+
+let tests =
+  [
+    Alcotest.test_case "set/get across words" `Quick test_set_get;
+    Alcotest.test_case "flip" `Quick test_flip;
+    Alcotest.test_case "bounds checking" `Quick test_bounds;
+    Alcotest.test_case "int roundtrip" `Quick test_int_roundtrip;
+    Alcotest.test_case "MSB-first convention (paper ex.1)" `Quick test_msb_convention;
+    Alcotest.test_case "fill" `Quick test_fill;
+    Alcotest.test_case "equal/hash" `Quick test_equal_hash;
+    Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng split independence" `Quick test_rng_split_independent;
+    Alcotest.test_case "biased word density" `Quick test_biased_density;
+    Alcotest.test_case "sub_bits/blit_bits" `Quick test_sub_blit;
+    QCheck_alcotest.to_alcotest prop_string_roundtrip;
+    QCheck_alcotest.to_alcotest prop_popcount;
+    QCheck_alcotest.to_alcotest prop_flip_involution;
+  ]

@@ -1,0 +1,68 @@
+module Bv = Lr_bitvec.Bv
+module N = Lr_netlist.Netlist
+module Box = Lr_blackbox.Blackbox
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let toy_circuit () =
+  let c =
+    N.create ~input_names:[| "a"; "b" |] ~output_names:[| "z" |]
+  in
+  N.set_output c 0 (N.and_ c (N.input c 0) (N.input c 1));
+  c
+
+let test_query () =
+  let box = Box.of_netlist (toy_circuit ()) in
+  check "and(1,1)" true (Bv.get (Box.query box (Bv.of_string "11")) 0);
+  check "and(0,1)" false (Bv.get (Box.query box (Bv.of_string "10")) 0);
+  check_int "two queries counted" 2 (Box.queries_used box)
+
+let test_query_many_counts () =
+  let box = Box.of_netlist (toy_circuit ()) in
+  let patterns = Array.init 100 (fun i -> Bv.of_int ~width:2 (i mod 4)) in
+  let outs = Box.query_many box patterns in
+  check_int "batch counted" 100 (Box.queries_used box);
+  Array.iteri
+    (fun i p -> check "batch matches single" true
+        (Bv.equal outs.(i) (N.eval (toy_circuit ()) p)))
+    patterns
+
+let test_budget () =
+  let box = Box.of_netlist ~budget:10 (toy_circuit ()) in
+  check "fresh box not exhausted" false (Box.exhausted box);
+  for _ = 1 to 10 do
+    ignore (Box.query box (Bv.of_string "11"))
+  done;
+  check "budget spent" true (Box.exhausted box);
+  (* queries keep working; exhaustion is advisory *)
+  check "query still answers" true (Bv.get (Box.query box (Bv.of_string "11")) 0);
+  Box.reset_accounting box;
+  check "reset clears exhaustion" false (Box.exhausted box)
+
+let test_function_box () =
+  let box =
+    Box.of_function ~input_names:[| "x0"; "x1"; "x2" |] ~output_names:[| "parity" |]
+      (fun a ->
+        let out = Bv.create 1 in
+        Bv.set out 0 (Bv.popcount a land 1 = 1);
+        out)
+  in
+  check "parity of 101" false (Bv.get (Box.query box (Bv.of_string "101")) 0);
+  check "parity of 100" true (Bv.get (Box.query box (Bv.of_string "001")) 0);
+  check "no golden circuit" true (Box.golden box = None)
+
+let test_width_check () =
+  let box = Box.of_netlist (toy_circuit ()) in
+  Alcotest.check_raises "wrong width rejected"
+    (Invalid_argument "Blackbox.query: assignment width mismatch") (fun () ->
+      ignore (Box.query box (Bv.of_string "111")))
+
+let tests =
+  [
+    Alcotest.test_case "query & accounting" `Quick test_query;
+    Alcotest.test_case "batched queries" `Quick test_query_many_counts;
+    Alcotest.test_case "budget exhaustion" `Quick test_budget;
+    Alcotest.test_case "function-backed box" `Quick test_function_box;
+    Alcotest.test_case "width checking" `Quick test_width_check;
+  ]

@@ -1,0 +1,145 @@
+module Bv = Lr_bitvec.Bv
+module Rng = Lr_bitvec.Rng
+module N = Lr_netlist.Netlist
+module Blif = Lr_netlist.Blif
+module Cases = Lr_cases.Cases
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let names prefix n = Array.init n (fun i -> Printf.sprintf "%s%d" prefix i)
+
+let sample_circuit () =
+  let c = N.create ~input_names:(names "x" 4) ~output_names:(names "z" 2) in
+  let x i = N.input c i in
+  N.set_output c 0 (N.xor_ c (N.and_ c (x 0) (x 1)) (N.nor_ c (x 2) (x 3)));
+  N.set_output c 1 (N.xnor_ c (x 1) (N.not_ c (x 2)));
+  c
+
+let semantically_equal c1 c2 n =
+  List.for_all
+    (fun m ->
+      let a = Bv.of_int ~width:n m in
+      Bv.equal (N.eval c1 a) (N.eval c2 a))
+    (List.init (1 lsl n) Fun.id)
+
+let test_roundtrip () =
+  let c = sample_circuit () in
+  let c' = Blif.read (Blif.write ~model:"t" c) in
+  check_int "inputs" (N.num_inputs c) (N.num_inputs c');
+  check_int "outputs" (N.num_outputs c) (N.num_outputs c');
+  check "same function" true (semantically_equal c c' 4)
+
+let test_reads_handwritten_blif () =
+  (* a 3-LUT with don't-cares and a zero-polarity table, typical SIS output *)
+  let text =
+    ".model handmade\n\
+     .inputs a b c\n\
+     .outputs f g\n\
+     .names a b c f\n\
+     1-1 1\n\
+     01- 1\n\
+     .names a b g\n\
+     00 0\n\
+     01 0\n\
+     .end\n"
+  in
+  let c = Blif.read text in
+  check_int "3 inputs" 3 (N.num_inputs c);
+  let eval bits = N.eval c (Bv.of_string bits) in
+  (* f = a&c | ~a&b ; input order in of_string is MSB-first: c b a *)
+  check "f(a=1,c=1)" true (Bv.get (eval "101") 0);
+  check "f(a=0,b=1)" true (Bv.get (eval "010") 0);
+  check "f(0,0,0)" false (Bv.get (eval "000") 0);
+  (* g's table lists the OFFSET: g = ~( ~a ) = a *)
+  check "g = a" true (Bv.get (eval "001") 1);
+  check "g(0,1,_) = 0" false (Bv.get (eval "010") 1)
+
+let test_continuation_and_comments () =
+  let text =
+    "# a comment\n\
+     .model m\n\
+     .inputs a \\\n\
+     b\n\
+     .outputs z\n\
+     .names a b z   # trailing comment\n\
+     11 1\n\
+     .end\n"
+  in
+  let c = Blif.read text in
+  check_int "continued .inputs parsed" 2 (N.num_inputs c);
+  check "z = a & b" true (Bv.get (N.eval c (Bv.of_string "11")) 0)
+
+let test_rejects_latches () =
+  check "latch rejected" true
+    (try
+       ignore (Blif.read ".model m\n.inputs a\n.outputs z\n.latch a z 0\n.end\n");
+       false
+     with Failure _ -> true)
+
+let test_rejects_cycles () =
+  let text =
+    ".model m\n.inputs a\n.outputs z\n.names y z\n1 1\n.names z y\n1 1\n.end\n"
+  in
+  check "cycle rejected" true
+    (try
+       ignore (Blif.read text);
+       false
+     with Failure _ -> true)
+
+let test_constant_tables () =
+  let text =
+    ".model m\n.inputs a\n.outputs one zero\n.names one\n1\n.names zero\n.end\n"
+  in
+  let c = Blif.read text in
+  let out = N.eval c (Bv.of_string "0") in
+  check "constant one" true (Bv.get out 0);
+  check "constant zero" false (Bv.get out 1)
+
+let prop_roundtrip_random =
+  QCheck.Test.make ~name:"BLIF roundtrip preserves semantics" ~count:50
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let c = N.create ~input_names:(names "x" 5) ~output_names:(names "z" 2) in
+      let pool = ref (List.init 5 (fun i -> N.input c i)) in
+      let pick () = List.nth !pool (Rng.int rng (List.length !pool)) in
+      for _ = 1 to 15 do
+        let a = pick () and b = pick () in
+        let g =
+          match Rng.int rng 6 with
+          | 0 -> N.and_ c a b
+          | 1 -> N.or_ c a b
+          | 2 -> N.xor_ c a b
+          | 3 -> N.nand_ c a b
+          | 4 -> N.nor_ c a b
+          | _ -> N.not_ c a
+        in
+        pool := g :: !pool
+      done;
+      N.set_output c 0 (pick ());
+      N.set_output c 1 (pick ());
+      semantically_equal c (Blif.read (Blif.write c)) 5)
+
+let test_case_export_import () =
+  (* a full benchmark circuit survives the trip *)
+  let spec = Cases.find "case_16" in
+  let golden = Cases.build spec in
+  let back = Blif.read (Blif.write golden) in
+  check "case_16 equivalence (formal)" true
+    (Lr_aig.Equiv.check golden back = Lr_aig.Equiv.Equivalent)
+
+let tests =
+  [
+    Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "handwritten BLIF with LUTs" `Quick
+      test_reads_handwritten_blif;
+    Alcotest.test_case "continuations & comments" `Quick
+      test_continuation_and_comments;
+    Alcotest.test_case "rejects latches" `Quick test_rejects_latches;
+    Alcotest.test_case "rejects cycles" `Quick test_rejects_cycles;
+    Alcotest.test_case "constant tables" `Quick test_constant_tables;
+    Alcotest.test_case "benchmark circuit roundtrip (CEC)" `Quick
+      test_case_export_import;
+    QCheck_alcotest.to_alcotest prop_roundtrip_random;
+  ]

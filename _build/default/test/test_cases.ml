@@ -1,0 +1,135 @@
+module Bv = Lr_bitvec.Bv
+module N = Lr_netlist.Netlist
+module Cases = Lr_cases.Cases
+module G = Lr_grouping.Grouping
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_all_cases_build () =
+  List.iter
+    (fun spec ->
+      let c = Cases.build spec in
+      check_int (spec.Cases.name ^ " PI count") spec.Cases.num_inputs
+        (N.num_inputs c);
+      check_int (spec.Cases.name ^ " PO count") spec.Cases.num_outputs
+        (N.num_outputs c);
+      (* every case must be simulatable *)
+      let a = Bv.create spec.Cases.num_inputs in
+      let out = N.eval c a in
+      check_int (spec.Cases.name ^ " output width") spec.Cases.num_outputs
+        (Bv.length out))
+    Cases.specs
+
+let test_determinism () =
+  let spec = Cases.find "case_4" in
+  let c1 = Cases.build spec and c2 = Cases.build spec in
+  let rng = Lr_bitvec.Rng.create 77 in
+  for _ = 1 to 50 do
+    let a = Bv.random rng spec.Cases.num_inputs in
+    check "same outputs" true (Bv.equal (N.eval c1 a) (N.eval c2 a))
+  done
+
+let test_table2_shape () =
+  check_int "20 cases" 20 (List.length Cases.specs);
+  let count cat =
+    List.length (List.filter (fun s -> s.Cases.category = cat) Cases.specs)
+  in
+  check_int "7 ECO" 7 (count Cases.ECO);
+  check_int "5 NEQ" 5 (count Cases.NEQ);
+  check_int "6 DIAG" 6 (count Cases.DIAG);
+  check_int "2 DATA" 2 (count Cases.DATA);
+  check_int "10 hidden" 10
+    (List.length (List.filter (fun s -> s.Cases.hidden) Cases.specs))
+
+let test_structured_names_group () =
+  (* DIAG and DATA cases must expose vectors to name-based grouping *)
+  List.iter
+    (fun spec ->
+      let c = Cases.build spec in
+      let g = G.group (N.input_names c) in
+      check
+        (spec.Cases.name ^ " has input vectors")
+        true
+        (List.length g.G.vectors >= 1))
+    (List.filter
+       (fun s -> s.Cases.category = Cases.DIAG || s.Cases.category = Cases.DATA)
+       Cases.specs)
+
+let test_unstructured_names_do_not_group () =
+  List.iter
+    (fun spec ->
+      let c = Cases.build spec in
+      let g = G.group (N.input_names c) in
+      check_int (spec.Cases.name ^ " no vectors") 0 (List.length g.G.vectors))
+    (List.filter
+       (fun s -> s.Cases.category = Cases.ECO || s.Cases.category = Cases.NEQ)
+       Cases.specs)
+
+let test_case16_semantics () =
+  (* spot-check a DIAG case against its specification *)
+  let spec = Cases.find "case_16" in
+  let c = Cases.build spec in
+  let names = N.input_names c in
+  let find_bit base idx =
+    let target = Printf.sprintf "%s[%d]" base idx in
+    let found = ref (-1) in
+    Array.iteri (fun i n -> if n = target then found := i) names;
+    !found
+  in
+  let a = Bv.create spec.Cases.num_inputs in
+  (* u = 36, v = 36 *)
+  for i = 0 to 7 do
+    Bv.set a (find_bit "u" i) ((36 lsr i) land 1 = 1);
+    Bv.set a (find_bit "v" i) ((36 lsr i) land 1 = 1)
+  done;
+  let out = N.eval c a in
+  check "u = v" true (Bv.get out 0);
+  check "u < 37" true (Bv.get out 1);
+  check "u <> v is false" false (Bv.get out 2);
+  check "v >= 100 is false" false (Bv.get out 3)
+
+let test_case2_is_linear () =
+  let spec = Cases.find "case_2" in
+  let c = Cases.build spec in
+  let names = N.input_names c in
+  let g = G.group names in
+  let vec base = List.find (fun v -> v.G.base = base) g.G.vectors in
+  let a = Bv.create spec.Cases.num_inputs in
+  let write_vec base value =
+    G.set_vector (vec base) (fun s b -> Bv.set a s b) value
+  in
+  write_vec "a" 100;
+  write_vec "b" 20;
+  write_vec "c" 7;
+  let out = N.eval c a in
+  let gz = G.group (N.output_names c) in
+  let zvec = List.find (fun v -> v.G.base = "z") gz.G.vectors in
+  let z = G.vector_value zvec (fun s -> Bv.get out s) in
+  check_int "3a+5b+c+11" (((3 * 100) + (5 * 20) + 7 + 11) mod (1 lsl 19)) z
+
+let test_golden_sizes_reasonable () =
+  List.iter
+    (fun spec ->
+      let c = Cases.build spec in
+      let s = N.size c in
+      check (spec.Cases.name ^ " nonempty") true (s > 0);
+      check (spec.Cases.name ^ " simulatable scale") true (s < 20000))
+    Cases.specs
+
+let tests =
+  [
+    Alcotest.test_case "all 20 cases build with Table II shapes" `Quick
+      test_all_cases_build;
+    Alcotest.test_case "builds are deterministic" `Quick test_determinism;
+    Alcotest.test_case "Table II category counts" `Quick test_table2_shape;
+    Alcotest.test_case "DIAG/DATA names group into vectors" `Quick
+      test_structured_names_group;
+    Alcotest.test_case "ECO/NEQ names do not group" `Quick
+      test_unstructured_names_do_not_group;
+    Alcotest.test_case "case_16 comparator semantics" `Quick
+      test_case16_semantics;
+    Alcotest.test_case "case_2 linear arithmetic semantics" `Quick
+      test_case2_is_linear;
+    Alcotest.test_case "golden circuit sizes" `Quick test_golden_sizes_reasonable;
+  ]

@@ -1,0 +1,118 @@
+(* Second cover suite: the bucketed merge on larger covers, dedup, and
+   pretty-printing / PLA behaviours. *)
+
+module Bv = Lr_bitvec.Bv
+module Rng = Lr_bitvec.Rng
+module Cube = Lr_cube.Cube
+module Cover = Lr_cube.Cover
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_dedup () =
+  let c =
+    Cover.of_cubes 3 [ Cube.of_string "1-0"; Cube.of_string "1-0"; Cube.of_string "01-" ]
+  in
+  check_int "duplicates dropped" 2 (Cover.num_cubes (Cover.dedup c))
+
+let test_merge_minterm_cover_collapses () =
+  (* all 2^4 minterms merge down to the single tautology cube *)
+  let cubes =
+    List.init 16 (fun m ->
+        let c = ref (Cube.top 4) in
+        for v = 0 to 3 do
+          c := Cube.add !c v ((m lsr v) land 1 = 1)
+        done;
+        !c)
+  in
+  let merged = Cover.merge_pass (Cover.of_cubes 4 cubes) in
+  check_int "collapsed to one cube" 1 (Cover.num_cubes merged);
+  check_int "tautology" 0 (Cover.num_literals merged)
+
+let test_merge_parity_does_not_collapse () =
+  (* the 8 odd-parity minterms of 4 vars admit no adjacent merges *)
+  let cubes =
+    List.init 16 (fun m ->
+        if
+          (m land 1) lxor ((m lsr 1) land 1) lxor ((m lsr 2) land 1)
+          lxor ((m lsr 3) land 1)
+          = 1
+        then
+          Some
+            (let c = ref (Cube.top 4) in
+             for v = 0 to 3 do
+               c := Cube.add !c v ((m lsr v) land 1 = 1)
+             done;
+             !c)
+        else None)
+    |> List.filter_map Fun.id
+  in
+  let merged = Cover.merge_pass (Cover.of_cubes 4 cubes) in
+  check_int "parity is merge-immune" 8 (Cover.num_cubes merged)
+
+(* sampled semantic equality on a universe too big to enumerate *)
+let sampled_equal rng n f g =
+  let ok = ref true in
+  for _ = 1 to 2000 do
+    let a = Bv.random rng n in
+    if Cover.eval f a <> Cover.eval g a then ok := false
+  done;
+  !ok
+
+let prop_merge_preserves_large =
+  QCheck.Test.make ~name:"bucketed merge preserves semantics on 24 vars"
+    ~count:20
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 24 in
+      let cube () =
+        let c = ref (Cube.top n) in
+        for v = 0 to n - 1 do
+          match Rng.int rng 3 with
+          | 0 -> c := Cube.add !c v false
+          | 1 -> c := Cube.add !c v true
+          | _ -> ()
+        done;
+        !c
+      in
+      let cover = Cover.of_cubes n (List.init 200 (fun _ -> cube ())) in
+      let merged = Cover.merge_pass cover in
+      Cover.num_cubes merged <= Cover.num_cubes cover
+      && sampled_equal (Rng.split rng) n cover merged)
+
+let test_pp_and_pla () =
+  let c = Cover.of_cubes 3 [ Cube.of_string "1-0"; Cube.of_string "011" ] in
+  let pla = Cover.to_pla c in
+  check "pla has both rows" true
+    (String.split_on_char '\n' pla |> List.length = 2);
+  let back = Cover.of_pla pla in
+  check_int "roundtrip cube count" 2 (Cover.num_cubes back);
+  let s =
+    Format.asprintf "%a" (Cover.pp ~names:(Printf.sprintf "x%d")) c
+  in
+  check "pretty form mentions x2" true
+    (String.length s > 0
+    &&
+    let rec contains i =
+      i + 2 <= String.length s && (String.sub s i 2 = "x2" || contains (i + 1))
+    in
+    contains 0)
+
+let test_empty_cover_behaviour () =
+  let e = Cover.empty 4 in
+  check "eval false" false (Cover.eval e (Bv.create 4));
+  check_int "merge of empty" 0 (Cover.num_cubes (Cover.merge_pass e));
+  check_int "dedup of empty" 0 (Cover.num_cubes (Cover.dedup e))
+
+let tests =
+  [
+    Alcotest.test_case "dedup" `Quick test_dedup;
+    Alcotest.test_case "full minterm cover collapses" `Quick
+      test_merge_minterm_cover_collapses;
+    Alcotest.test_case "parity resists merging" `Quick
+      test_merge_parity_does_not_collapse;
+    Alcotest.test_case "PLA/pp behaviours" `Quick test_pp_and_pla;
+    Alcotest.test_case "empty cover" `Quick test_empty_cover_behaviour;
+    QCheck_alcotest.to_alcotest prop_merge_preserves_large;
+  ]

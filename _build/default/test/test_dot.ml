@@ -1,0 +1,50 @@
+module N = Lr_netlist.Netlist
+module Dot = Lr_netlist.Dot
+
+let check = Alcotest.(check bool)
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let sample () =
+  let c =
+    N.create ~input_names:[| "a"; "b"; "c" |] ~output_names:[| "out" |]
+  in
+  N.set_output c 0
+    (N.or_ c (N.and_ c (N.input c 0) (N.input c 1)) (N.not_ c (N.input c 2)));
+  c
+
+let test_structure () =
+  let dot = Dot.write ~graph_name:"g" (sample ()) in
+  check "digraph header" true (contains dot "digraph g {");
+  check "input box" true (contains dot "label=\"a\", shape=box");
+  check "AND gate" true (contains dot "label=\"AND\"");
+  check "OR gate" true (contains dot "label=\"OR\"");
+  check "NOT gate" true (contains dot "label=\"NOT\"");
+  check "PO double circle" true (contains dot "shape=doublecircle");
+  check "closing brace" true (contains dot "}")
+
+let test_unreachable_logic_hidden () =
+  let c = sample () in
+  (* dangling gate must not appear *)
+  let _ = N.xor_ c (N.input c 0) (N.input c 2) in
+  let dot = Dot.write c in
+  check "dangling XOR not drawn" false (contains dot "XOR")
+
+let test_escaping () =
+  let c =
+    N.create ~input_names:[| "bus\"0\"" |] ~output_names:[| "z" |]
+  in
+  N.set_output c 0 (N.input c 0);
+  let dot = Dot.write c in
+  check "quotes escaped" true (contains dot "bus\\\"0\\\"")
+
+let tests =
+  [
+    Alcotest.test_case "dot structure" `Quick test_structure;
+    Alcotest.test_case "only reachable logic drawn" `Quick
+      test_unreachable_logic_hidden;
+    Alcotest.test_case "label escaping" `Quick test_escaping;
+  ]

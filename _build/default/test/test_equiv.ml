@@ -1,0 +1,125 @@
+module Bv = Lr_bitvec.Bv
+module Rng = Lr_bitvec.Rng
+module N = Lr_netlist.Netlist
+module Equiv = Lr_aig.Equiv
+
+let check = Alcotest.(check bool)
+
+let names prefix n = Array.init n (fun i -> Printf.sprintf "%s%d" prefix i)
+
+let test_equivalent_structures () =
+  (* a & b built two different ways *)
+  let c1 = N.create ~input_names:(names "x" 2) ~output_names:(names "z" 1) in
+  N.set_output c1 0 (N.and_ c1 (N.input c1 0) (N.input c1 1));
+  let c2 = N.create ~input_names:(names "x" 2) ~output_names:(names "z" 1) in
+  N.set_output c2 0
+    (N.not_ c2 (N.nand_ c2 (N.input c2 1) (N.input c2 0)));
+  check "and == ~nand" true (Equiv.check c1 c2 = Equiv.Equivalent)
+
+let test_demorgan_equivalence () =
+  let c1 = N.create ~input_names:(names "x" 3) ~output_names:(names "z" 1) in
+  N.set_output c1 0
+    (N.not_ c1 (N.or_ c1 (N.input c1 0) (N.or_ c1 (N.input c1 1) (N.input c1 2))));
+  let c2 = N.create ~input_names:(names "x" 3) ~output_names:(names "z" 1) in
+  N.set_output c2 0
+    (N.and_ c2
+       (N.not_ c2 (N.input c2 0))
+       (N.and_ c2 (N.not_ c2 (N.input c2 1)) (N.not_ c2 (N.input c2 2))));
+  check "De Morgan" true (Equiv.check c1 c2 = Equiv.Equivalent)
+
+let test_counterexample_is_real () =
+  let c1 = N.create ~input_names:(names "x" 4) ~output_names:(names "z" 1) in
+  N.set_output c1 0 (N.and_ c1 (N.input c1 0) (N.input c1 1));
+  let c2 = N.create ~input_names:(names "x" 4) ~output_names:(names "z" 1) in
+  N.set_output c2 0 (N.or_ c2 (N.input c2 0) (N.input c2 1));
+  match Equiv.check c1 c2 with
+  | Equiv.Equivalent -> Alcotest.fail "and != or"
+  | Equiv.Counterexample cex ->
+      check "cex distinguishes" true
+        (not (Bv.equal (N.eval c1 cex) (N.eval c2 cex)))
+
+let test_subtle_inequivalence () =
+  (* differ on exactly one minterm of 8 variables: random simulation will
+     almost surely miss it; SAT must find it *)
+  let mk extra =
+    let c = N.create ~input_names:(names "x" 8) ~output_names:(names "z" 1) in
+    let all =
+      List.init 8 (fun i -> N.input c i)
+      |> List.fold_left (fun acc n -> N.and_ c acc n) (N.const_true c)
+    in
+    let base = N.xor_ c (N.input c 0) (N.input c 3) in
+    N.set_output c 0 (if extra then N.or_ c base all else base);
+    c
+  in
+  match Equiv.check (mk false) (mk true) with
+  | Equiv.Equivalent -> Alcotest.fail "circuits differ on the all-ones input"
+  | Equiv.Counterexample cex ->
+      check "cex is the all-ones assignment" true (Bv.popcount cex = 8)
+
+let test_multi_output () =
+  let mk f =
+    let c = N.create ~input_names:(names "x" 3) ~output_names:(names "z" 2) in
+    N.set_output c 0 (N.xor_ c (N.input c 0) (N.input c 1));
+    N.set_output c 1 (f c);
+    c
+  in
+  let c1 = mk (fun c -> N.or_ c (N.input c 1) (N.input c 2)) in
+  let c2 = mk (fun c -> N.or_ c (N.input c 2) (N.input c 1)) in
+  check "multi-output equivalence" true (Equiv.check c1 c2 = Equiv.Equivalent)
+
+let prop_optimization_preserves_equivalence =
+  QCheck.Test.make ~name:"AIG compress output is formally equivalent" ~count:25
+    QCheck.(int_range 0 5000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      (* reuse the random netlist recipe from the AIG tests *)
+      let c = N.create ~input_names:(names "x" 6) ~output_names:(names "z" 2) in
+      let pool = ref (List.init 6 (fun i -> N.input c i)) in
+      let pick () = List.nth !pool (Rng.int rng (List.length !pool)) in
+      for _ = 1 to 25 do
+        let a = pick () and b = pick () in
+        let g =
+          match Rng.int rng 4 with
+          | 0 -> N.and_ c a b
+          | 1 -> N.or_ c a b
+          | 2 -> N.xor_ c a b
+          | _ -> N.nand_ c a b
+        in
+        pool := g :: !pool
+      done;
+      N.set_output c 0 (pick ());
+      N.set_output c 1 (pick ());
+      let optimized =
+        Lr_aig.Aig.to_netlist
+          (Lr_aig.Opt.compress ~rng:(Rng.split rng) (Lr_aig.Aig.of_netlist c))
+      in
+      Equiv.check c optimized = Equiv.Equivalent)
+
+let test_learned_template_circuit_proven () =
+  (* formal closure of the loop: the circuit learned for a pure template
+     case is EQUAL to the golden circuit, not just sampled-equal *)
+  let spec = Lr_cases.Cases.find "case_16" in
+  let golden = Lr_cases.Cases.build spec in
+  let config =
+    { Logic_regression.Config.default with
+      Logic_regression.Config.support_rounds = 128 }
+  in
+  let report =
+    Logic_regression.Learner.learn ~config (Lr_cases.Cases.blackbox spec)
+  in
+  check "learned case_16 formally equivalent" true
+    (Equiv.check golden report.Logic_regression.Learner.circuit
+    = Equiv.Equivalent)
+
+let tests =
+  [
+    Alcotest.test_case "structural variants" `Quick test_equivalent_structures;
+    Alcotest.test_case "De Morgan" `Quick test_demorgan_equivalence;
+    Alcotest.test_case "counterexample validity" `Quick test_counterexample_is_real;
+    Alcotest.test_case "one-minterm difference found by SAT" `Quick
+      test_subtle_inequivalence;
+    Alcotest.test_case "multi-output" `Quick test_multi_output;
+    Alcotest.test_case "learned template circuit formally proven" `Quick
+      test_learned_template_circuit_proven;
+    QCheck_alcotest.to_alcotest prop_optimization_preserves_equivalence;
+  ]

@@ -1,0 +1,106 @@
+module Bv = Lr_bitvec.Bv
+module Cube = Lr_cube.Cube
+module Cover = Lr_cube.Cover
+module Esp = Lr_espresso.Espresso
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let cover n strs = Cover.of_cubes n (List.map Cube.of_string strs)
+
+let test_tautology () =
+  check "x + ~x" true (Esp.tautology (cover 1 [ "1"; "0" ]));
+  check "top cube" true (Esp.tautology (cover 2 [ "--" ]));
+  check "single literal is not" false (Esp.tautology (cover 2 [ "1-" ]));
+  check "empty cover is not" false (Esp.tautology (Cover.empty 2));
+  check "full minterm cover" true
+    (Esp.tautology (cover 2 [ "00"; "01"; "10"; "11" ]))
+
+let test_covers_cube () =
+  let c = cover 3 [ "1--"; "01-" ] in
+  check "covered" true (Esp.covers_cube c (Cube.of_string "11-"));
+  check "not covered" false (Esp.covers_cube c (Cube.of_string "00-"))
+
+let test_expand () =
+  (* onset minterm 11, offset everything with x0 = 0: x1 is removable *)
+  let onset = cover 2 [ "11" ] in
+  let offset = cover 2 [ "-0" ] in
+  let e = Esp.expand ~onset ~offset in
+  check_int "one cube" 1 (Cover.num_cubes e);
+  check_int "one literal left" 1 (Cover.num_literals e)
+
+let test_irredundant () =
+  let c = cover 2 [ "1-"; "-1"; "11" ] in
+  let r = Esp.irredundant c in
+  check_int "redundant cube dropped" 2 (Cover.num_cubes r)
+
+let test_minimize_xor_like () =
+  (* onset/offset of a 3-var majority, as disjoint minterm covers *)
+  let onset = cover 3 [ "011"; "101"; "110"; "111" ] in
+  let offset = cover 3 [ "000"; "001"; "010"; "100" ] in
+  let m = Esp.minimize ~onset ~offset () in
+  check "consistent" true (Esp.consistent ~cover:m ~onset ~offset);
+  check "minimized to 3 cubes" true (Cover.num_cubes m <= 3);
+  check "literals reduced" true (Cover.num_literals m <= 6)
+
+(* Build disjoint random onset/offset by splitting minterms of a universe;
+   unassigned minterms are don't-care. *)
+let gen_onoff n =
+  QCheck.Gen.(
+    list_repeat (1 lsl n) (int_range 0 2) >|= fun tags ->
+    let cube_of m =
+      let c = ref (Cube.top n) in
+      for v = 0 to n - 1 do
+        c := Cube.add !c v ((m lsr v) land 1 = 1)
+      done;
+      !c
+    in
+    let on = ref [] and off = ref [] in
+    List.iteri
+      (fun m tag ->
+        if tag = 0 then on := cube_of m :: !on
+        else if tag = 1 then off := cube_of m :: !off)
+      tags;
+    (Cover.of_cubes n !on, Cover.of_cubes n !off))
+
+let prop_minimize_consistent =
+  QCheck.Test.make ~name:"minimize is consistent with onset/offset" ~count:100
+    (QCheck.make (gen_onoff 4))
+    (fun (onset, offset) ->
+      let m = Esp.minimize ~onset ~offset () in
+      Esp.consistent ~cover:m ~onset ~offset)
+
+let prop_minimize_never_grows =
+  QCheck.Test.make ~name:"minimize never grows the cover" ~count:100
+    (QCheck.make (gen_onoff 4))
+    (fun (onset, offset) ->
+      let m = Esp.minimize ~onset ~offset () in
+      Cover.num_cubes m <= Cover.num_cubes onset)
+
+let prop_tautology_matches_eval =
+  QCheck.Test.make ~name:"tautology matches exhaustive evaluation" ~count:200
+    (QCheck.make
+       QCheck.Gen.(
+         list_size (int_range 0 6)
+           (list_repeat 4 (oneofl [ '0'; '1'; '-' ]) >|= fun cs ->
+            Cube.of_string (String.init 4 (List.nth cs)))))
+    (fun cubes ->
+      let c = Cover.of_cubes 4 cubes in
+      let want =
+        List.for_all
+          (fun m -> Cover.eval c (Bv.of_int ~width:4 m))
+          (List.init 16 Fun.id)
+      in
+      Esp.tautology c = want)
+
+let tests =
+  [
+    Alcotest.test_case "tautology" `Quick test_tautology;
+    Alcotest.test_case "covers_cube" `Quick test_covers_cube;
+    Alcotest.test_case "expand against offset" `Quick test_expand;
+    Alcotest.test_case "irredundant" `Quick test_irredundant;
+    Alcotest.test_case "minimize majority" `Quick test_minimize_xor_like;
+    QCheck_alcotest.to_alcotest prop_minimize_consistent;
+    QCheck_alcotest.to_alcotest prop_minimize_never_grows;
+    QCheck_alcotest.to_alcotest prop_tautology_matches_eval;
+  ]

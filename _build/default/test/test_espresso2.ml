@@ -1,0 +1,111 @@
+(* Second espresso suite: recursive complement, supercube, REDUCE. *)
+
+module Bv = Lr_bitvec.Bv
+module Cube = Lr_cube.Cube
+module Cover = Lr_cube.Cover
+module Esp = Lr_espresso.Espresso
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let cover n strs = Cover.of_cubes n (List.map Cube.of_string strs)
+
+let eval_all n f = List.init (1 lsl n) (fun m -> Cover.eval f (Bv.of_int ~width:n m))
+
+let test_complement_simple () =
+  let f = cover 2 [ "1-" ] in
+  let g = Esp.complement f in
+  check "00 in complement" true (Cover.eval g (Bv.of_string "00"));
+  check "01 in complement" true (Cover.eval g (Bv.of_string "01"));
+  check "10 out" false (Cover.eval g (Bv.of_string "10"))
+
+let test_complement_empty_and_tautology () =
+  let empty = Cover.empty 3 in
+  check "complement of 0 is tautology" true
+    (List.for_all Fun.id (eval_all 3 (Esp.complement empty)));
+  let taut = cover 3 [ "---" ] in
+  check_int "complement of 1 is empty" 0 (Cover.num_cubes (Esp.complement taut))
+
+let test_supercube () =
+  let f = cover 4 [ "1101"; "1001" ] in
+  (match Esp.supercube f with
+  | Some s -> Alcotest.(check string) "supercube" "1-01" (Cube.to_string s)
+  | None -> Alcotest.fail "nonempty cover has a supercube");
+  check "empty has none" true (Esp.supercube (Cover.empty 4) = None)
+
+let test_reduce_opens_room () =
+  (* overlapping cubes: reduce shrinks one to its essential part *)
+  let onset = cover 3 [ "1--"; "-1-" ] in
+  let r = Esp.reduce ~onset in
+  (* semantics over the onset must be preserved *)
+  List.iter2
+    (fun m (want, got) ->
+      ignore m;
+      if want then check "onset point still covered" true got)
+    (List.init 8 Fun.id)
+    (List.combine (eval_all 3 onset) (eval_all 3 r));
+  (* and at least one cube actually shrank *)
+  check "literals increased (cubes shrank)" true
+    (Cover.num_literals r >= Cover.num_literals onset)
+
+let test_minimize_with_reduce () =
+  let onset = cover 3 [ "011"; "101"; "110"; "111" ] in
+  let offset = cover 3 [ "000"; "001"; "010"; "100" ] in
+  let m = Esp.minimize ~use_reduce:true ~onset ~offset () in
+  check "consistent" true (Esp.consistent ~cover:m ~onset ~offset);
+  check "no worse than without reduce" true
+    (Cover.num_cubes m <= Cover.num_cubes (Esp.minimize ~onset ~offset ()))
+
+let gen_cover n =
+  QCheck.Gen.(
+    let gen_cube =
+      list_repeat n (oneofl [ '0'; '1'; '-' ]) >|= fun cs ->
+      Cube.of_string (String.init n (List.nth cs))
+    in
+    list_size (int_range 0 6) gen_cube >|= Cover.of_cubes n)
+
+let prop_complement_correct =
+  QCheck.Test.make ~name:"recursive complement flips every minterm" ~count:200
+    (QCheck.make (gen_cover 5))
+    (fun f ->
+      let g = Esp.complement f in
+      List.for_all2 ( <> ) (eval_all 5 f) (eval_all 5 g))
+
+let prop_complement_matches_exhaustive =
+  QCheck.Test.make ~name:"recursive = exhaustive complement semantics"
+    ~count:100
+    (QCheck.make (gen_cover 4))
+    (fun f ->
+      eval_all 4 (Esp.complement f)
+      = eval_all 4 (Cover.complement_exhaustive f))
+
+let prop_reduce_preserves_onset =
+  QCheck.Test.make ~name:"reduce keeps covering the onset" ~count:100
+    (QCheck.make (gen_cover 4))
+    (fun onset ->
+      let r = Esp.reduce ~onset in
+      List.for_all2
+        (fun want got -> (not want) || got)
+        (eval_all 4 onset) (eval_all 4 r))
+
+let prop_supercube_contains_all =
+  QCheck.Test.make ~name:"supercube contains every cube" ~count:200
+    (QCheck.make (gen_cover 5))
+    (fun f ->
+      match Esp.supercube f with
+      | None -> Cover.num_cubes f = 0
+      | Some s -> List.for_all (Cube.contains s) (Cover.cubes f))
+
+let tests =
+  [
+    Alcotest.test_case "complement basics" `Quick test_complement_simple;
+    Alcotest.test_case "complement edge cases" `Quick
+      test_complement_empty_and_tautology;
+    Alcotest.test_case "supercube" `Quick test_supercube;
+    Alcotest.test_case "reduce shrinks overlap" `Quick test_reduce_opens_room;
+    Alcotest.test_case "minimize with reduce" `Quick test_minimize_with_reduce;
+    QCheck_alcotest.to_alcotest prop_complement_correct;
+    QCheck_alcotest.to_alcotest prop_complement_matches_exhaustive;
+    QCheck_alcotest.to_alcotest prop_reduce_preserves_onset;
+    QCheck_alcotest.to_alcotest prop_supercube_contains_all;
+  ]

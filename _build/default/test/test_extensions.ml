@@ -1,0 +1,109 @@
+(* Tests for the generalized template families (the paper's future work):
+   bitwise vector operators and shift/rotate recognition. *)
+
+module Rng = Lr_bitvec.Rng
+module N = Lr_netlist.Netlist
+module Cases = Lr_cases.Cases
+module Eval = Lr_eval.Eval
+module T = Lr_templates.Templates
+module G = Lr_grouping.Grouping
+module Equiv = Lr_aig.Equiv
+module Config = Logic_regression.Config
+module Learner = Logic_regression.Learner
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let scan name =
+  let box = Cases.blackbox (Cases.find name) in
+  T.scan ~rng:(Rng.create 77) box
+
+let test_bitwise_detection () =
+  let m = scan "ext_bitwise" in
+  check_int "two bitwise matches" 2 (List.length m.T.bitwises);
+  let find base = List.find_opt (fun b -> b.T.bz.G.base = base) m.T.bitwises in
+  (match find "z" with
+  | Some { T.bop = T.Bxor; brhs = Some _; _ } -> ()
+  | _ -> Alcotest.fail "z must match x ^ y");
+  (match find "w" with
+  | Some { T.bop = T.Band; brhs = Some _; _ } -> ()
+  | _ -> Alcotest.fail "w must match x & y");
+  check_int "all 36 POs matched" 36 (List.length (T.matched_outputs m))
+
+let test_shift_detection () =
+  let m = scan "ext_shift" in
+  check_int "two shift matches" 2 (List.length m.T.shifts);
+  let find base = List.find_opt (fun s -> s.T.sz.G.base = base) m.T.shifts in
+  (match find "z" with
+  | Some { T.amount = 5; rotate = false; _ } -> ()
+  | _ -> Alcotest.fail "z must match v >> 5");
+  match find "r" with
+  | Some { T.amount = 3; rotate = true; _ } -> ()
+  | _ -> Alcotest.fail "r must match rotate(v, 3)"
+
+let test_bitwise_not_confused_with_linear () =
+  (* xor looks linear on the probing inputs (0 and 1) but not under random
+     verification: the linear matcher must NOT claim it *)
+  let m = scan "ext_bitwise" in
+  check_int "no linear match" 0 (List.length m.T.linears)
+
+let learn name =
+  let spec = Cases.find name in
+  let config =
+    { Config.default with Config.seed = 5; support_rounds = 128 }
+  in
+  (spec, Learner.learn ~config (Cases.blackbox spec))
+
+let test_learner_uses_bitwise () =
+  let spec, report = learn "ext_bitwise" in
+  List.iter
+    (fun r ->
+      check "bitwise template used" true
+        (r.Learner.method_used = Learner.Bitwise_template))
+    report.Learner.outputs;
+  check "formally exact" true
+    (Equiv.check (Cases.build spec) report.Learner.circuit = Equiv.Equivalent);
+  (* bitwise synthesis is one gate per bit; optimization keeps it tiny *)
+  check "tiny circuit" true (N.size report.Learner.circuit <= 72)
+
+let test_learner_uses_shift () =
+  let spec, report = learn "ext_shift" in
+  List.iter
+    (fun r ->
+      check "shift template used" true
+        (r.Learner.method_used = Learner.Shift_template))
+    report.Learner.outputs;
+  check "formally exact (wiring only)" true
+    (Equiv.check (Cases.build spec) report.Learner.circuit = Equiv.Equivalent);
+  check_int "shifts cost zero gates" 0 (N.size report.Learner.circuit)
+
+let test_extensions_listed () =
+  check_int "two extension cases" 2 (List.length Cases.extension_specs);
+  List.iter
+    (fun s ->
+      let c = Cases.build s in
+      check_int (s.Cases.name ^ " inputs") s.Cases.num_inputs (N.num_inputs c);
+      check_int (s.Cases.name ^ " outputs") s.Cases.num_outputs (N.num_outputs c))
+    Cases.extension_specs
+
+let test_table2_cases_unaffected () =
+  (* the new families must not misfire on the original DATA cases *)
+  let m = scan "case_2" in
+  check_int "case_2 still linear" 1 (List.length m.T.linears);
+  check_int "no bitwise misfire" 0 (List.length m.T.bitwises);
+  check_int "no shift misfire" 0 (List.length m.T.shifts)
+
+let tests =
+  [
+    Alcotest.test_case "bitwise detection" `Quick test_bitwise_detection;
+    Alcotest.test_case "shift detection" `Quick test_shift_detection;
+    Alcotest.test_case "xor not claimed by linear" `Quick
+      test_bitwise_not_confused_with_linear;
+    Alcotest.test_case "learner uses bitwise template" `Quick
+      test_learner_uses_bitwise;
+    Alcotest.test_case "learner uses shift template" `Quick
+      test_learner_uses_shift;
+    Alcotest.test_case "extension cases build" `Quick test_extensions_listed;
+    Alcotest.test_case "original cases unaffected" `Quick
+      test_table2_cases_unaffected;
+  ]

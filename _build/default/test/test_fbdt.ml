@@ -1,0 +1,205 @@
+module Bv = Lr_bitvec.Bv
+module Rng = Lr_bitvec.Rng
+module Cover = Lr_cube.Cover
+module Oracle = Lr_fbdt.Oracle
+module Fbdt = Lr_fbdt.Fbdt
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let cfg = { Fbdt.default_config with Fbdt.node_rounds = 32; max_nodes = 2048 }
+
+(* check that onset covers exactly the 1-minterms on small universes *)
+let exact_on n f result =
+  let ok = ref true in
+  for m = 0 to (1 lsl n) - 1 do
+    let a = Bv.of_int ~width:n m in
+    if Cover.eval result.Fbdt.onset a <> f a then ok := false;
+    (* onset and offset must partition the space for a complete tree *)
+    if Cover.eval result.Fbdt.onset a = Cover.eval result.Fbdt.offset a then
+      ok := false
+  done;
+  !ok
+
+let test_learn_and () =
+  let f a = Bv.get a 0 && Bv.get a 2 in
+  let oracle = Oracle.of_fun ~arity:4 f in
+  let r = Fbdt.learn cfg ~rng:(Rng.create 1) oracle in
+  check "exact" true (exact_on 4 f r);
+  check "complete" true r.Fbdt.complete;
+  check_int "single onset cube" 1 (Cover.num_cubes r.Fbdt.onset)
+
+let test_learn_majority () =
+  let f a =
+    let c = ref 0 in
+    for i = 0 to 2 do
+      if Bv.get a i then incr c
+    done;
+    !c >= 2
+  in
+  let oracle = Oracle.of_fun ~arity:3 f in
+  let r = Fbdt.learn cfg ~rng:(Rng.create 2) oracle in
+  check "exact" true (exact_on 3 f r)
+
+let test_learn_xor_deep () =
+  (* parity of 4: forces the tree to full depth on those variables *)
+  let f a = Bv.popcount a land 1 = 1 in
+  let oracle = Oracle.of_fun ~arity:4 f in
+  let r = Fbdt.learn cfg ~rng:(Rng.create 3) oracle in
+  check "exact" true (exact_on 4 f r);
+  check_int "parity needs 8 onset cubes" 8 (Cover.num_cubes r.Fbdt.onset)
+
+let test_truth_ratio_sampled () =
+  let f a = Bv.get a 0 in
+  let oracle = Oracle.of_fun ~arity:2 f in
+  let r = Fbdt.learn cfg ~rng:(Rng.create 4) oracle in
+  check "root ratio near the truth" true
+    (r.Fbdt.truth_ratio > 0.2 && r.Fbdt.truth_ratio < 0.8)
+
+let test_support_restriction () =
+  (* function depends on var 3 but support claims only vars 0..2: the tree
+     must still terminate (majority leaves), flagged incomplete *)
+  let f a = Bv.get a 3 && Bv.get a 0 in
+  let oracle = Oracle.of_fun ~arity:4 f in
+  let r = Fbdt.learn ~support:[ 0; 1; 2 ] cfg ~rng:(Rng.create 5) oracle in
+  check "terminates incomplete" false r.Fbdt.complete
+
+let test_constant_functions () =
+  let always b _ = b in
+  let r_true =
+    Fbdt.learn cfg ~rng:(Rng.create 6) (Oracle.of_fun ~arity:3 (always true))
+  in
+  check_int "constant 1: one tautology onset cube" 1
+    (Cover.num_cubes r_true.Fbdt.onset);
+  check_int "constant 1: no offset" 0 (Cover.num_cubes r_true.Fbdt.offset);
+  let r_false =
+    Fbdt.learn cfg ~rng:(Rng.create 7) (Oracle.of_fun ~arity:3 (always false))
+  in
+  check_int "constant 0: no onset" 0 (Cover.num_cubes r_false.Fbdt.onset)
+
+let test_exhaustive () =
+  let f a = (Bv.get a 1 && Bv.get a 4) || Bv.get a 2 in
+  let oracle = Oracle.of_fun ~arity:6 f in
+  let r = Fbdt.learn_exhaustive ~rng:(Rng.create 8) ~support:[ 1; 2; 4 ] oracle in
+  check "exact" true (exact_on 6 f r);
+  check "complete" true r.Fbdt.complete;
+  check_int "2^3 minterms enumerated" 8 r.Fbdt.nodes_expanded
+
+let test_exhaustive_rejects_wide_support () =
+  let oracle = Oracle.of_fun ~arity:30 (fun _ -> false) in
+  check "wide support rejected" true
+    (try
+       ignore
+         (Fbdt.learn_exhaustive ~rng:(Rng.create 9)
+            ~support:(List.init 21 Fun.id) oracle);
+       false
+     with Invalid_argument _ -> true)
+
+let test_budget_approximation () =
+  (* oracle exhausts after 2000 queries: the learner must finish with
+     majority-approximated leaves *)
+  let used = ref 0 in
+  let f a = (Bv.get a 0 && Bv.get a 1) || (Bv.get a 2 && Bv.get a 3) in
+  let oracle =
+    {
+      Oracle.arity = 8;
+      query =
+        (fun arr ->
+          used := !used + Array.length arr;
+          Array.map f arr);
+      exhausted = (fun () -> !used > 2000);
+    }
+  in
+  let r = Fbdt.learn cfg ~rng:(Rng.create 10) oracle in
+  check "incomplete" false r.Fbdt.complete;
+  (* the approximation is majority-0 here (f is mostly 0) *)
+  check "still produced covers" true
+    (Cover.num_cubes r.Fbdt.onset + Cover.num_cubes r.Fbdt.offset > 0)
+
+let test_early_stopping_epsilon () =
+  (* f is 1 on a single minterm of 8 vars (P(1) = 1/256): with a large
+     epsilon, the root is already within epsilon of constant 0 *)
+  let f a = Bv.to_int a = 173 in
+  let oracle = Oracle.of_fun ~arity:8 f in
+  let eager = { cfg with Fbdt.leaf_epsilon = 0.2 } in
+  let r = Fbdt.learn eager ~rng:(Rng.create 11) oracle in
+  check "stopped immediately" true (r.Fbdt.nodes_expanded <= 3);
+  check_int "approximated as constant 0" 0 (Cover.num_cubes r.Fbdt.onset)
+
+let prop_exhaustive_exact =
+  QCheck.Test.make ~name:"exhaustive conquest is exact on random functions"
+    ~count:50
+    QCheck.(int_range 0 255)
+    (fun tt ->
+      (* 3-input function from an 8-bit truth table *)
+      let f a = (tt lsr Bv.to_int a) land 1 = 1 in
+      let oracle = Oracle.of_fun ~arity:3 f in
+      let r =
+        Fbdt.learn_exhaustive ~rng:(Rng.create tt) ~support:[ 0; 1; 2 ] oracle
+      in
+      exact_on 3 f r)
+
+let prop_tree_exact_when_complete =
+  QCheck.Test.make ~name:"complete trees are exact" ~count:30
+    QCheck.(int_range 0 65535)
+    (fun tt ->
+      let f a = (tt lsr Bv.to_int a) land 1 = 1 in
+      let oracle = Oracle.of_fun ~arity:4 f in
+      let r = Fbdt.learn cfg ~rng:(Rng.create tt) oracle in
+      (not r.Fbdt.complete) || exact_on 4 f r)
+
+let test_tree_structure () =
+  let f a = (Bv.get a 0 && Bv.get a 1) || Bv.get a 2 in
+  let oracle = Oracle.of_fun ~arity:3 f in
+  let r = Fbdt.learn cfg ~rng:(Rng.create 21) oracle in
+  match r.Fbdt.tree with
+  | None -> Alcotest.fail "learn must return the tree"
+  | Some t ->
+      (* the tree classifies exactly like the covers *)
+      for m = 0 to 7 do
+        let a = Bv.of_int ~width:3 m in
+        check "tree = cover" true
+          (Fbdt.classify t a = Cover.eval r.Fbdt.onset a);
+        check "tree = function" true (Fbdt.classify t a = f a)
+      done;
+      check "depth bounded by support" true (Fbdt.tree_depth t <= 3);
+      check_int "leaves = onset + offset cubes"
+        (Cover.num_cubes r.Fbdt.onset + Cover.num_cubes r.Fbdt.offset)
+        (Fbdt.tree_leaves t)
+
+let test_tree_dot () =
+  let f a = Bv.get a 0 <> Bv.get a 1 in
+  let oracle = Oracle.of_fun ~arity:2 f in
+  let r = Fbdt.learn cfg ~rng:(Rng.create 22) oracle in
+  match r.Fbdt.tree with
+  | None -> Alcotest.fail "tree expected"
+  | Some t ->
+      let dot = Fbdt.tree_to_dot ~names:(Printf.sprintf "x%d") t in
+      let contains needle =
+        let n = String.length needle and h = String.length dot in
+        let rec go i = i + n <= h && (String.sub dot i n = needle || go (i + 1)) in
+        go 0
+      in
+      check "digraph header" true (contains "digraph fbdt");
+      check "has a split node" true (contains "shape=circle");
+      check "has leaves" true (contains "shape=box");
+      check "closing brace" true (contains "}")
+
+let tests =
+  [
+    Alcotest.test_case "explicit tree structure" `Quick test_tree_structure;
+    Alcotest.test_case "tree dot export" `Quick test_tree_dot;
+    Alcotest.test_case "learn AND" `Quick test_learn_and;
+    Alcotest.test_case "learn majority" `Quick test_learn_majority;
+    Alcotest.test_case "learn parity (full depth)" `Quick test_learn_xor_deep;
+    Alcotest.test_case "root truth ratio" `Quick test_truth_ratio_sampled;
+    Alcotest.test_case "under-approximated support" `Quick test_support_restriction;
+    Alcotest.test_case "constant functions" `Quick test_constant_functions;
+    Alcotest.test_case "exhaustive conquest" `Quick test_exhaustive;
+    Alcotest.test_case "exhaustive width guard" `Quick
+      test_exhaustive_rejects_wide_support;
+    Alcotest.test_case "budget approximation" `Quick test_budget_approximation;
+    Alcotest.test_case "early stopping" `Quick test_early_stopping_epsilon;
+    QCheck_alcotest.to_alcotest prop_exhaustive_exact;
+    QCheck_alcotest.to_alcotest prop_tree_exact_when_complete;
+  ]

@@ -1,0 +1,113 @@
+(* Tests for the public parametric benchmark generators. *)
+
+module Bv = Lr_bitvec.Bv
+module Rng = Lr_bitvec.Rng
+module N = Lr_netlist.Netlist
+module Cases = Lr_cases.Cases
+module G = Lr_grouping.Grouping
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_random_eco_shape () =
+  let c =
+    Cases.random_eco ~seed:9 ~num_inputs:30 ~num_outputs:4 ~support:6
+      ~gates:10 ~xor_prob:0.2
+  in
+  check_int "inputs" 30 (N.num_inputs c);
+  check_int "outputs" 4 (N.num_outputs c);
+  check "has logic" true (N.size c > 0);
+  (* deterministic *)
+  let c' =
+    Cases.random_eco ~seed:9 ~num_inputs:30 ~num_outputs:4 ~support:6
+      ~gates:10 ~xor_prob:0.2
+  in
+  let rng = Rng.create 4 in
+  for _ = 1 to 20 do
+    let a = Bv.random rng 30 in
+    check "deterministic" true (Bv.equal (N.eval c a) (N.eval c' a))
+  done
+
+let test_random_neq_parities () =
+  let c =
+    Cases.random_neq ~seed:5 ~num_inputs:40 ~num_outputs:3 ~support:8
+      ~gates:6 ~rare_width:3 ~parities:1 ~parity_width:12
+  in
+  (* output 0 is a raw parity: flipping any of its support bits flips it *)
+  let rng = Rng.create 6 in
+  let a = Bv.random rng 40 in
+  let flips = ref 0 in
+  for i = 0 to 39 do
+    let a' = Bv.copy a in
+    Bv.flip a' i;
+    if Bv.get (N.eval c a') 0 <> Bv.get (N.eval c a) 0 then incr flips
+  done;
+  check_int "parity support width" 12 !flips
+
+let test_random_diag_semantics () =
+  let c =
+    Cases.random_diag ~seed:3
+      ~vectors:[ ("p", 6); ("q", 6) ]
+      ~num_scalars:4
+      ~outputs:[ Cases.Cmp (`Lt, "p", `V "q"); Cases.Cmp (`Eq, "p", `C 11) ]
+  in
+  let gi = G.group (N.input_names c) in
+  let vec base = List.find (fun v -> v.G.base = base) gi.G.vectors in
+  let probe pv qv =
+    let a = Bv.create (N.num_inputs c) in
+    G.set_vector (vec "p") (Bv.set a) pv;
+    G.set_vector (vec "q") (Bv.set a) qv;
+    N.eval c a
+  in
+  check "3 < 7" true (Bv.get (probe 3 7) 0);
+  check "7 < 3 is false" false (Bv.get (probe 7 3) 0);
+  check "p = 11" true (Bv.get (probe 11 0) 1);
+  check "p = 12 is not 11" false (Bv.get (probe 12 0) 1)
+
+let test_random_data_semantics () =
+  let c =
+    Cases.random_data
+      ~vectors:[ ("a", 8); ("b", 8) ]
+      ~num_scalars:2 ~width:10
+      ~terms:[ (2, "a"); (3, "b") ]
+      ~offset:5
+  in
+  let gi = G.group (N.input_names c) in
+  let go = G.group (N.output_names c) in
+  let vec l base = List.find (fun v -> v.G.base = base) l in
+  let a = Bv.create (N.num_inputs c) in
+  G.set_vector (vec gi.G.vectors "a") (Bv.set a) 20;
+  G.set_vector (vec gi.G.vectors "b") (Bv.set a) 7;
+  let out = N.eval c a in
+  let z = G.vector_value (vec go.G.vectors "z") (Bv.get out) in
+  check_int "2*20 + 3*7 + 5" (((2 * 20) + (3 * 7) + 5) mod 1024) z
+
+let test_generated_case_is_learnable () =
+  (* close the loop: generate a fresh case, learn it, check accuracy *)
+  let golden =
+    Cases.random_eco ~seed:21 ~num_inputs:25 ~num_outputs:3 ~support:5
+      ~gates:8 ~xor_prob:0.1
+  in
+  let box = Lr_blackbox.Blackbox.of_netlist golden in
+  let config =
+    {
+      Logic_regression.Config.default with
+      Logic_regression.Config.support_rounds = 192;
+    }
+  in
+  let report = Logic_regression.Learner.learn ~config box in
+  check "learned exactly" true
+    (Lr_aig.Equiv.check golden report.Logic_regression.Learner.circuit
+    = Lr_aig.Equiv.Equivalent)
+
+let tests =
+  [
+    Alcotest.test_case "random_eco shape & determinism" `Quick test_random_eco_shape;
+    Alcotest.test_case "random_neq parity outputs" `Quick test_random_neq_parities;
+    Alcotest.test_case "random_diag comparator semantics" `Quick
+      test_random_diag_semantics;
+    Alcotest.test_case "random_data linear semantics" `Quick
+      test_random_data_semantics;
+    Alcotest.test_case "generated cases are learnable" `Quick
+      test_generated_case_is_learnable;
+  ]

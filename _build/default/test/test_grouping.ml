@@ -1,0 +1,102 @@
+module G = Lr_grouping.Grouping
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_parse_name () =
+  let cases =
+    [
+      ("a[3]", Some ("a", 3));
+      ("addr_12", Some ("addr", 12));
+      ("a3", Some ("a", 3));
+      ("data[0]", Some ("data", 0));
+      ("clk", None);
+      ("", None);
+      ("[3]", None);
+      ("x_y", None);
+    ]
+  in
+  List.iter
+    (fun (name, want) ->
+      let got = G.parse_name name in
+      check (Printf.sprintf "parse %S" name) true (got = want))
+    cases
+
+let test_group_basic () =
+  let g = G.group [| "a[0]"; "a[1]"; "a[2]"; "clk"; "b_0"; "b_1" |] in
+  check_int "two vectors" 2 (List.length g.G.vectors);
+  check_int "one scalar" 1 (List.length g.G.scalars);
+  (match g.G.vectors with
+  | [ va; vb ] ->
+      check "vector a first" true (va.G.base = "a");
+      check_int "a width" 3 (Array.length va.G.bits);
+      check "vector b" true (vb.G.base = "b");
+      (* a[0] has index 0 -> weight 2^0 -> signal 0 *)
+      check_int "a LSB signal" 0 va.G.bits.(0);
+      check_int "a MSB signal" 2 va.G.bits.(2)
+  | _ -> Alcotest.fail "expected exactly two vectors")
+
+let test_paper_example () =
+  (* Example 1: (a2,a1,a0) = (1,1,0) must decode to 6 regardless of
+     declaration order *)
+  let g = G.group [| "a2"; "a1"; "a0" |] in
+  match g.G.vectors with
+  | [ v ] ->
+      let values = [| true; true; false |] in
+      (* a2=1 a1=1 a0=0 *)
+      check_int "N = 6" 6 (G.vector_value v (fun s -> values.(s)))
+  | _ -> Alcotest.fail "expected one vector"
+
+let test_set_vector () =
+  let g = G.group [| "v[0]"; "v[1]"; "v[2]"; "v[3]" |] in
+  match g.G.vectors with
+  | [ v ] ->
+      let store = Array.make 4 false in
+      G.set_vector v (fun s b -> store.(s) <- b) 10;
+      check_int "roundtrip 10" 10 (G.vector_value v (fun s -> store.(s)));
+      G.set_vector v (fun s b -> store.(s) <- b) 0;
+      check_int "roundtrip 0" 0 (G.vector_value v (fun s -> store.(s)))
+  | _ -> Alcotest.fail "expected one vector"
+
+let test_singleton_stays_scalar () =
+  let g = G.group [| "x[0]"; "y"; "z" |] in
+  check_int "no vectors" 0 (List.length g.G.vectors);
+  check_int "three scalars" 3 (List.length g.G.scalars)
+
+let test_duplicate_indices_degrade () =
+  let g = G.group [| "a1"; "a_1" |] in
+  (* both parse as ("a",1): cannot form a coherent vector *)
+  check_int "no vectors from duplicates" 0 (List.length g.G.vectors);
+  check_int "both scalar" 2 (List.length g.G.scalars)
+
+let test_non_contiguous_indices () =
+  let g = G.group [| "d[0]"; "d[2]"; "d[5]" |] in
+  match g.G.vectors with
+  | [ v ] ->
+      check_int "width 3 by rank" 3 (Array.length v.G.bits);
+      Alcotest.(check (array int)) "declared indices kept" [| 0; 2; 5 |]
+        v.G.declared_indices
+  | _ -> Alcotest.fail "expected one vector"
+
+let test_partition_is_total () =
+  let names = [| "a[0]"; "a[1]"; "b"; "c_0"; "c_1"; "c_2"; "d7" |] in
+  let g = G.group names in
+  let covered = Hashtbl.create 16 in
+  List.iter
+    (fun v -> Array.iter (fun s -> Hashtbl.replace covered s ()) v.G.bits)
+    g.G.vectors;
+  List.iter (fun s -> Hashtbl.replace covered s ()) g.G.scalars;
+  check_int "every signal placed once" (Array.length names)
+    (Hashtbl.length covered)
+
+let tests =
+  [
+    Alcotest.test_case "name parsing" `Quick test_parse_name;
+    Alcotest.test_case "basic grouping" `Quick test_group_basic;
+    Alcotest.test_case "paper example 1" `Quick test_paper_example;
+    Alcotest.test_case "set_vector roundtrip" `Quick test_set_vector;
+    Alcotest.test_case "singletons stay scalar" `Quick test_singleton_stays_scalar;
+    Alcotest.test_case "duplicate indices degrade" `Quick test_duplicate_indices_degrade;
+    Alcotest.test_case "non-contiguous indices" `Quick test_non_contiguous_indices;
+    Alcotest.test_case "grouping partitions signals" `Quick test_partition_is_total;
+  ]

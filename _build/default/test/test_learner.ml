@@ -1,0 +1,209 @@
+module Bv = Lr_bitvec.Bv
+module Rng = Lr_bitvec.Rng
+module N = Lr_netlist.Netlist
+module Box = Lr_blackbox.Blackbox
+module Cases = Lr_cases.Cases
+module Eval = Lr_eval.Eval
+module Config = Logic_regression.Config
+module Learner = Logic_regression.Learner
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* a fast configuration for tests: same algorithm, smaller constants *)
+let fast =
+  {
+    Config.default with
+    Config.support_rounds = 192;
+    node_rounds = 32;
+    max_tree_nodes = 512;
+    optimize_rounds = 1;
+    fraig_words = 4;
+    template_samples = 32;
+  }
+
+let accuracy_of spec report =
+  Eval.accuracy ~count:4000 ~rng:(Rng.create 999)
+    ~golden:(Cases.build spec) ~candidate:report.Learner.circuit ()
+
+let learn_case ?(config = fast) name =
+  let spec = Cases.find name in
+  let box = Cases.blackbox spec in
+  let report = Learner.learn ~config box in
+  (spec, report)
+
+let test_learn_xor_blackbox () =
+  let input_names = Array.init 5 (fun i -> Printf.sprintf "w%c" (Char.chr (97 + i))) in
+  let box =
+    Box.of_function ~input_names ~output_names:[| "f" |] (fun a ->
+        let out = Bv.create 1 in
+        Bv.set out 0 (Bv.get a 1 <> Bv.get a 3);
+        out)
+  in
+  let report = Learner.learn ~config:fast box in
+  (* validate on all 32 assignments *)
+  let correct = ref true in
+  for m = 0 to 31 do
+    let a = Bv.of_int ~width:5 m in
+    let got = Bv.get (N.eval report.Learner.circuit a) 0 in
+    if got <> (Bv.get a 1 <> Bv.get a 3) then correct := false
+  done;
+  check "xor learned exactly" true !correct;
+  (match report.Learner.outputs with
+  | [ r ] ->
+      check "exhaustive conquest used" true
+        (r.Learner.method_used = Learner.Exhaustive);
+      check_int "support is 2" 2 r.Learner.support_size
+  | _ -> Alcotest.fail "one output expected");
+  check "tiny circuit" true (N.size report.Learner.circuit <= 3)
+
+let test_case7_eco_exact () =
+  let spec, report = learn_case "case_7" in
+  let acc = accuracy_of spec report in
+  check "accuracy >= 99.9%" true (acc >= 0.999);
+  check "small circuit" true (N.size report.Learner.circuit < 200)
+
+let test_case16_via_templates () =
+  let spec, report = learn_case "case_16" in
+  Alcotest.(check (float 0.0)) "exact" 1.0 (accuracy_of spec report);
+  List.iter
+    (fun r ->
+      check "all outputs via comparator template" true
+        (r.Learner.method_used = Learner.Comparator_template))
+    report.Learner.outputs;
+  check "competitive size" true (N.size report.Learner.circuit < 120)
+
+let test_case2_linear_exact () =
+  let spec, report = learn_case "case_2" in
+  Alcotest.(check (float 0.0)) "exact" 1.0 (accuracy_of spec report);
+  List.iter
+    (fun r ->
+      check "all outputs via linear template" true
+        (r.Learner.method_used = Learner.Linear_template))
+    report.Learner.outputs
+
+let test_case16_without_preprocessing () =
+  (* the ablation path: templates off, the buses are narrow enough for the
+     exhaustive/tree machinery to still learn the predicates *)
+  let config = { fast with Config.use_templates = false } in
+  let spec, report = learn_case ~config "case_16" in
+  let acc = accuracy_of spec report in
+  check "still accurate without templates" true (acc >= 0.99);
+  List.iter
+    (fun r ->
+      check "no template methods used" true
+        (r.Learner.method_used = Learner.Exhaustive
+        || r.Learner.method_used = Learner.Decision_tree))
+    report.Learner.outputs
+
+let test_case15_input_compression () =
+  let spec, report = learn_case "case_15" in
+  let acc = accuracy_of spec report in
+  check "accuracy >= 99.9%" true (acc >= 0.999);
+  check "some output used compression" true
+    (List.exists (fun r -> r.Learner.compressed) report.Learner.outputs)
+
+let test_budget_truncation () =
+  let spec = Cases.find "case_4" in
+  let box = Cases.blackbox ~budget:3000 spec in
+  let report = Learner.learn ~config:fast box in
+  (* must terminate and produce a full-shape circuit *)
+  check_int "all outputs present" spec.Cases.num_outputs
+    (List.length report.Learner.outputs);
+  check "budget respected (within one sampling batch)" true
+    (report.Learner.queries < 3000 + 70000)
+
+let test_onset_offset_choice () =
+  (* a mostly-true function: improved config must build from the offset *)
+  let input_names = Array.init 6 (fun i -> Printf.sprintf "v%c" (Char.chr (97 + i))) in
+  let box =
+    Box.of_function ~input_names ~output_names:[| "f" |] (fun a ->
+        let out = Bv.create 1 in
+        Bv.set out 0 (Bv.get a 0 || Bv.get a 2 || Bv.get a 4);
+        out)
+  in
+  let report = Learner.learn ~config:fast box in
+  (match report.Learner.outputs with
+  | [ r ] -> check "offset chosen for a mostly-1 output" true r.Learner.used_offset
+  | _ -> Alcotest.fail "one output");
+  (* and the result is still exact *)
+  let ok = ref true in
+  for m = 0 to 63 do
+    let a = Bv.of_int ~width:6 m in
+    if
+      Bv.get (N.eval report.Learner.circuit a) 0
+      <> (Bv.get a 0 || Bv.get a 2 || Bv.get a 4)
+    then ok := false
+  done;
+  check "exact" true !ok
+
+let test_contest_vs_improved_presets () =
+  check "contest has no early stop" true (Config.contest.Config.leaf_epsilon = 0.0);
+  check "improved has early stop" true (Config.improved.Config.leaf_epsilon > 0.0);
+  check "improved uses onset/offset" true Config.improved.Config.use_onset_offset;
+  check "contest does not" false Config.contest.Config.use_onset_offset
+
+(* End-to-end soundness: on a black-box whose support fits the exhaustive
+   conquest, the learned circuit is FORMALLY equivalent to the hidden one
+   (checked by the SAT-based CEC), for arbitrary random hidden circuits. *)
+let prop_learner_formally_exact =
+  QCheck.Test.make ~name:"learner is exact on small-support boxes" ~count:8
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let rng = Lr_bitvec.Rng.create seed in
+      let names = Array.init 10 (fun i -> Printf.sprintf "w%c" (Char.chr (97 + i))) in
+      let golden = N.create ~input_names:names ~output_names:[| "f"; "g" |] in
+      let pool = ref (List.init 10 (fun i -> N.input golden i)) in
+      let pick () = List.nth !pool (Lr_bitvec.Rng.int rng (List.length !pool)) in
+      for _ = 1 to 20 do
+        let a = pick () and b = pick () in
+        let gate =
+          match Lr_bitvec.Rng.int rng 4 with
+          | 0 -> N.and_ golden a b
+          | 1 -> N.or_ golden a b
+          | 2 -> N.xor_ golden a b
+          | _ -> N.nand_ golden a b
+        in
+        pool := gate :: !pool
+      done;
+      N.set_output golden 0 (pick ());
+      N.set_output golden 1 (pick ());
+      let box = Box.of_netlist golden in
+      let config = { fast with Config.support_rounds = 256 } in
+      let report = Learner.learn ~config box in
+      Lr_aig.Equiv.check golden report.Learner.circuit = Lr_aig.Equiv.Equivalent)
+
+let test_deadline_terminates () =
+  (* a wall-clock deadline of 0 forces immediate anytime behaviour *)
+  let spec = Cases.find "case_9" in
+  let box = Cases.blackbox ~deadline_s:0.0 spec in
+  let report = Learner.learn ~config:fast box in
+  check_int "all outputs approximated" spec.Cases.num_outputs
+    (List.length report.Learner.outputs);
+  check "flagged incomplete" true
+    (List.exists (fun r -> not r.Learner.complete) report.Learner.outputs)
+
+let test_report_accounting () =
+  let _, report = learn_case "case_13" in
+  check "queries counted" true (report.Learner.queries > 0);
+  check "elapsed measured" true (report.Learner.elapsed_s >= 0.0);
+  check "matches present (grouping on)" true (report.Learner.matches <> None)
+
+let tests =
+  [
+    Alcotest.test_case "xor black-box learned exactly" `Quick test_learn_xor_blackbox;
+    Alcotest.test_case "case_7 (ECO) accurate & small" `Quick test_case7_eco_exact;
+    Alcotest.test_case "case_16 via comparator templates" `Quick
+      test_case16_via_templates;
+    Alcotest.test_case "case_2 via linear template" `Quick test_case2_linear_exact;
+    Alcotest.test_case "case_16 without preprocessing" `Quick
+      test_case16_without_preprocessing;
+    Alcotest.test_case "case_15 input compression" `Quick
+      test_case15_input_compression;
+    Alcotest.test_case "budget truncation is graceful" `Quick test_budget_truncation;
+    Alcotest.test_case "onset/offset choice" `Quick test_onset_offset_choice;
+    Alcotest.test_case "config presets" `Quick test_contest_vs_improved_presets;
+    Alcotest.test_case "report accounting" `Quick test_report_accounting;
+    Alcotest.test_case "wall-clock deadline" `Quick test_deadline_terminates;
+    QCheck_alcotest.to_alcotest prop_learner_formally_exact;
+  ]

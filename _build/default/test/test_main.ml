@@ -1,0 +1,32 @@
+let () =
+  Alcotest.run "logic_regression"
+    [
+      ("bitvec", Test_bitvec.tests);
+      ("cube", Test_cube.tests);
+      ("cover2", Test_cover2.tests);
+      ("netlist", Test_netlist.tests);
+      ("blackbox", Test_blackbox.tests);
+      ("sampling", Test_sampling.tests);
+      ("grouping", Test_grouping.tests);
+      ("cases", Test_cases.tests);
+      ("templates", Test_templates.tests);
+      ("templates2", Test_templates2.tests);
+      ("sat", Test_sat.tests);
+      ("bdd", Test_bdd.tests);
+      ("espresso", Test_espresso.tests);
+      ("espresso2", Test_espresso2.tests);
+      ("blif", Test_blif.tests);
+      ("generators", Test_generators.tests);
+      ("aig", Test_aig.tests);
+      ("rewrite", Test_rewrite.tests);
+      ("fbdt", Test_fbdt.tests);
+      ("eval", Test_eval.tests);
+      ("baselines", Test_baselines.tests);
+      ("learner", Test_learner.tests);
+      ("equiv", Test_equiv.tests);
+      ("formats", Test_formats.tests);
+      ("extensions", Test_extensions.tests);
+      ("dot", Test_dot.tests);
+      ("refine", Test_refine.tests);
+      ("analysis", Test_analysis.tests);
+    ]

@@ -1,0 +1,219 @@
+module Bv = Lr_bitvec.Bv
+module Rng = Lr_bitvec.Rng
+module N = Lr_netlist.Netlist
+module B = Lr_netlist.Builder
+module Io = Lr_netlist.Io
+module Cube = Lr_cube.Cube
+module Cover = Lr_cube.Cover
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let names prefix n = Array.init n (fun i -> Printf.sprintf "%s%d" prefix i)
+
+let fresh ni no = N.create ~input_names:(names "x" ni) ~output_names:(names "z" no)
+
+let eval1 c bits =
+  let a = Bv.of_string bits in
+  Bv.get (N.eval c a) 0
+
+let test_gate_truth_tables () =
+  let cases =
+    [
+      ("AND", N.and_, [ false; false; false; true ]);
+      ("OR", N.or_, [ false; true; true; true ]);
+      ("XOR", N.xor_, [ false; true; true; false ]);
+      ("NAND", N.nand_, [ true; true; true; false ]);
+      ("NOR", N.nor_, [ true; false; false; false ]);
+      ("XNOR", N.xnor_, [ true; false; false; true ]);
+    ]
+  in
+  List.iter
+    (fun (name, op, expected) ->
+      let c = fresh 2 1 in
+      N.set_output c 0 (op c (N.input c 0) (N.input c 1));
+      List.iteri
+        (fun i want ->
+          let a = Bv.create 2 in
+          Bv.set a 0 (i land 1 = 1);
+          Bv.set a 1 (i land 2 = 2);
+          check
+            (Printf.sprintf "%s row %d" name i)
+            want
+            (Bv.get (N.eval c a) 0))
+        expected)
+    cases
+
+let test_strash_and_folding () =
+  let c = fresh 2 1 in
+  let a = N.input c 0 and b = N.input c 1 in
+  let g1 = N.and_ c a b in
+  let g2 = N.and_ c b a in
+  check_int "commutative gates shared" g1 g2;
+  check_int "x AND x = x" a (N.and_ c a a);
+  check_int "x AND ~x = 0" (N.const_false c) (N.and_ c a (N.not_ c a));
+  check_int "x OR 1 = 1" (N.const_true c) (N.or_ c a (N.const_true c));
+  check_int "x XOR x = 0" (N.const_false c) (N.xor_ c a a);
+  check_int "double negation" a (N.not_ c (N.not_ c a))
+
+let test_stats () =
+  let c = fresh 3 1 in
+  let g = N.and_ c (N.input c 0) (N.input c 1) in
+  let h = N.or_ c g (N.not_ c (N.input c 2)) in
+  (* an unused gate must not count *)
+  let _ = N.xor_ c (N.input c 0) (N.input c 2) in
+  N.set_output c 0 h;
+  let s = N.stats c in
+  check_int "reachable 2-input gates" 2 s.N.gates2;
+  check_int "reachable inverters" 1 s.N.inverters;
+  check_int "depth" 2 s.N.depth;
+  check_int "size = gates2" 2 (N.size c)
+
+let test_eval_words_consistency () =
+  let rng = Rng.create 11 in
+  let c = fresh 4 2 in
+  let x i = N.input c i in
+  N.set_output c 0 (N.xor_ c (N.and_ c (x 0) (x 1)) (N.or_ c (x 2) (x 3)));
+  N.set_output c 1 (N.nand_ c (x 1) (N.xnor_ c (x 0) (x 3)));
+  let patterns = Array.init 100 (fun _ -> Bv.random rng 4) in
+  let batched = N.eval_many c patterns in
+  Array.iteri
+    (fun i p ->
+      check
+        (Printf.sprintf "pattern %d" i)
+        true
+        (Bv.equal batched.(i) (N.eval c p)))
+    patterns
+
+let test_io_roundtrip () =
+  let c = fresh 3 2 in
+  let x i = N.input c i in
+  N.set_output c 0 (N.or_ c (N.and_ c (x 0) (x 1)) (N.not_ c (x 2)));
+  N.set_output c 1 (N.xor_ c (x 0) (x 2));
+  let text = Io.write c in
+  let c' = Io.read text in
+  check_int "inputs preserved" (N.num_inputs c) (N.num_inputs c');
+  check_int "outputs preserved" (N.num_outputs c) (N.num_outputs c');
+  for m = 0 to 7 do
+    let a = Bv.of_int ~width:3 m in
+    check
+      (Printf.sprintf "semantics at %d" m)
+      true
+      (Bv.equal (N.eval c a) (N.eval c' a))
+  done
+
+let test_io_rejects_garbage () =
+  check "bad directive rejected" true
+    (try
+       ignore (Io.read ".inputs a\n.outputs z\n.bogus 1\n");
+       false
+     with Failure _ -> true)
+
+(* -------- Builder tests -------- *)
+
+let vector c base width = Array.init width (fun i -> N.input c (base + i))
+
+let test_adder () =
+  let w = 6 in
+  let c = fresh (2 * w) w in
+  let a = vector c 0 w and b = vector c w w in
+  let s = B.ripple_add c a b in
+  Array.iteri (fun i n -> N.set_output c i n) s;
+  for x = 0 to 10 do
+    for y = 0 to 10 do
+      let input = Bv.create (2 * w) in
+      for i = 0 to w - 1 do
+        Bv.set input i ((x lsr i) land 1 = 1);
+        Bv.set input (w + i) ((y lsr i) land 1 = 1)
+      done;
+      let out = N.eval c input in
+      let got = ref 0 in
+      for i = w - 1 downto 0 do
+        got := (!got lsl 1) lor if Bv.get out i then 1 else 0
+      done;
+      check_int (Printf.sprintf "%d+%d" x y) ((x + y) mod (1 lsl w)) !got
+    done
+  done
+
+let test_comparators () =
+  let w = 4 in
+  List.iter
+    (fun (op, f) ->
+      let c = fresh (2 * w) 1 in
+      let a = vector c 0 w and b = vector c w w in
+      N.set_output c 0 (B.compare_op c op a b);
+      for x = 0 to 15 do
+        for y = 0 to 15 do
+          let input = Bv.create (2 * w) in
+          for i = 0 to w - 1 do
+            Bv.set input i ((x lsr i) land 1 = 1);
+            Bv.set input (w + i) ((y lsr i) land 1 = 1)
+          done;
+          check
+            (Printf.sprintf "cmp %d %d" x y)
+            (f x y)
+            (Bv.get (N.eval c input) 0)
+        done
+      done)
+    [
+      (`Eq, ( = ));
+      (`Ne, ( <> ));
+      (`Lt, ( < ));
+      (`Le, ( <= ));
+      (`Gt, ( > ));
+      (`Ge, ( >= ));
+    ]
+
+let test_scale_and_linear () =
+  let w = 8 in
+  let c = fresh w w in
+  let v = vector c 0 w in
+  let out = B.linear_combination c ~width:w [ (3, v) ] 7 in
+  Array.iteri (fun i n -> N.set_output c i n) out;
+  for x = 0 to 40 do
+    let input = Bv.of_int ~width:w x in
+    let o = N.eval c input in
+    let got = ref 0 in
+    for i = w - 1 downto 0 do
+      got := (!got lsl 1) lor if Bv.get o i then 1 else 0
+    done;
+    check_int (Printf.sprintf "3*%d+7" x) (((3 * x) + 7) mod 256) !got
+  done
+
+let test_sop_builder () =
+  let cover =
+    Cover.of_cubes 3 [ Cube.of_string "1-0"; Cube.of_string "01-" ]
+  in
+  let c = fresh 3 1 in
+  let vars = Array.init 3 (fun i -> N.input c i) in
+  N.set_output c 0 (B.sop c vars cover);
+  for m = 0 to 7 do
+    let a = Bv.of_int ~width:3 m in
+    check (Printf.sprintf "sop minterm %d" m) (Cover.eval cover a)
+      (Bv.get (N.eval c a) 0)
+  done
+
+let prop_mux =
+  QCheck.Test.make ~name:"mux semantics" ~count:100 QCheck.(int_range 0 7)
+    (fun m ->
+      let c = fresh 3 1 in
+      N.set_output c 0
+        (B.mux c ~sel:(N.input c 0) ~then_:(N.input c 1) ~else_:(N.input c 2));
+      let a = Bv.of_int ~width:3 m in
+      let sel = Bv.get a 0 and t = Bv.get a 1 and e = Bv.get a 2 in
+      Bv.get (N.eval c a) 0 = if sel then t else e)
+
+let tests =
+  [
+    Alcotest.test_case "gate truth tables" `Quick test_gate_truth_tables;
+    Alcotest.test_case "structural hashing & folding" `Quick test_strash_and_folding;
+    Alcotest.test_case "stats on reachable logic" `Quick test_stats;
+    Alcotest.test_case "word-parallel = scalar eval" `Quick test_eval_words_consistency;
+    Alcotest.test_case "text IO roundtrip" `Quick test_io_roundtrip;
+    Alcotest.test_case "text IO error reporting" `Quick test_io_rejects_garbage;
+    Alcotest.test_case "ripple adder" `Quick test_adder;
+    Alcotest.test_case "all six comparators" `Quick test_comparators;
+    Alcotest.test_case "scale & linear combination" `Quick test_scale_and_linear;
+    Alcotest.test_case "SOP realisation" `Quick test_sop_builder;
+    QCheck_alcotest.to_alcotest prop_mux;
+  ]

@@ -1,0 +1,81 @@
+(* The refinement extension: a starved node budget plus refine rounds must
+   recover the accuracy the starved budget alone loses. *)
+
+module Bv = Lr_bitvec.Bv
+module Rng = Lr_bitvec.Rng
+module N = Lr_netlist.Netlist
+module Box = Lr_blackbox.Blackbox
+module Config = Logic_regression.Config
+module Learner = Logic_regression.Learner
+
+let check = Alcotest.(check bool)
+
+(* a function needing a deep-ish tree: 24 inputs, nested and-or over 20 *)
+let hidden_box () =
+  let names = Array.init 24 (fun i -> Printf.sprintf "i%c%c" (Char.chr (97 + (i / 5))) (Char.chr (97 + (i mod 5)))) in
+  let golden = N.create ~input_names:names ~output_names:[| "f" |] in
+  let x i = N.input golden i in
+  let rec build lo hi =
+    if hi - lo = 1 then x lo
+    else begin
+      let mid = (lo + hi) / 2 in
+      let l = build lo mid and r = build mid hi in
+      if (lo + hi) mod 3 = 0 then N.and_ golden l r
+      else if (lo + hi) mod 3 = 1 then N.or_ golden l r
+      else N.xor_ golden l r
+    end
+  in
+  N.set_output golden 0 (build 0 20);
+  (golden, Box.of_netlist golden)
+
+let starved refine_rounds =
+  {
+    Config.default with
+    Config.support_rounds = 192;
+    node_rounds = 24;
+    max_tree_nodes = 24;
+    (* starved *)
+    small_support_threshold = 4;
+    (* forbid the exhaustive escape hatch *)
+    optimize = false;
+    refine_rounds;
+  }
+
+let accuracy golden circuit =
+  let rng = Rng.create 31 in
+  Lr_eval.Eval.accuracy ~count:4000 ~rng ~golden ~candidate:circuit ()
+
+let test_refinement_recovers_accuracy () =
+  let golden, box0 = hidden_box () in
+  let r0 = Learner.learn ~config:(starved 0) box0 in
+  let _, box1 = hidden_box () in
+  let r1 = Learner.learn ~config:(starved 6) box1 in
+  let a0 = accuracy golden r0.Learner.circuit in
+  let a1 = accuracy golden r1.Learner.circuit in
+  check "starved run is inexact" true (a0 < 0.9);
+  check "refined run improves" true (a1 > a0);
+  check "refined run substantially better" true (a1 >= 0.85)
+
+let test_refinement_noop_when_complete () =
+  (* on an easy function refinement must not change the result *)
+  let names = Array.init 6 (fun i -> Printf.sprintf "w%c" (Char.chr (97 + i))) in
+  let mk () =
+    Box.of_function ~input_names:names ~output_names:[| "f" |] (fun a ->
+        let out = Bv.create 1 in
+        Bv.set out 0 (Bv.get a 0 && Bv.get a 5);
+        out)
+  in
+  let cfg0 = { (starved 0) with Config.small_support_threshold = 18 } in
+  let cfg1 = { cfg0 with Config.refine_rounds = 3 } in
+  let r0 = Learner.learn ~config:cfg0 (mk ()) in
+  let r1 = Learner.learn ~config:cfg1 (mk ()) in
+  check "same query count (no refinement ran)" true
+    (r0.Learner.queries = r1.Learner.queries)
+
+let tests =
+  [
+    Alcotest.test_case "refinement recovers accuracy" `Quick
+      test_refinement_recovers_accuracy;
+    Alcotest.test_case "refinement is a no-op when complete" `Quick
+      test_refinement_noop_when_complete;
+  ]

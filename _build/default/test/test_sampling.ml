@@ -1,0 +1,108 @@
+module Bv = Lr_bitvec.Bv
+module Rng = Lr_bitvec.Rng
+module N = Lr_netlist.Netlist
+module Box = Lr_blackbox.Blackbox
+module Cube = Lr_cube.Cube
+module Ps = Lr_sampling.Pattern_sampling
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* z0 = x0 & x1 ; z1 = x3  — x2 is irrelevant everywhere *)
+let circuit () =
+  let c =
+    N.create
+      ~input_names:[| "x0"; "x1"; "x2"; "x3" |]
+      ~output_names:[| "z0"; "z1" |]
+  in
+  N.set_output c 0 (N.and_ c (N.input c 0) (N.input c 1));
+  N.set_output c 1 (N.input c 3);
+  c
+
+let run ?(rounds = 64) ?(constraint_ = Cube.top 4) () =
+  let box = Box.of_netlist (circuit ()) in
+  Ps.run ~rounds ~rng:(Rng.create 42) box ~constraint_ ()
+
+let test_support () =
+  let stats = run () in
+  Alcotest.(check (list int)) "support of z0" [ 0; 1 ] (Ps.support stats ~output:0);
+  Alcotest.(check (list int)) "support of z1" [ 3 ] (Ps.support stats ~output:1)
+
+let test_most_significant () =
+  let stats = run () in
+  (* z1 = x3: toggling x3 always flips it, so x3 dominates *)
+  check "msi of z1" true (Ps.most_significant stats ~output:1 = Some 3);
+  (* z0's dependency on x0 and x1 is symmetric; either is acceptable *)
+  (match Ps.most_significant stats ~output:0 with
+  | Some (0 | 1) -> ()
+  | Some i -> Alcotest.failf "unexpected msi %d" i
+  | None -> Alcotest.fail "msi must exist")
+
+let test_truth_ratio () =
+  let stats = run ~rounds:256 () in
+  (* z1 = x3 with mixed-bias sampling: ratio strictly between 0 and 1 *)
+  let r = Ps.truth_ratio stats ~output:1 in
+  check "ratio in (0,1)" true (r > 0.05 && r < 0.95);
+  (* z0 = and: ratio well below 1/2 *)
+  check "and is mostly 0" true (Ps.truth_ratio stats ~output:0 < 0.5)
+
+let test_constrained_sampling () =
+  (* constrain x0 = 0: z0 becomes constant 0 and x1 leaves its support *)
+  let constraint_ = Cube.of_literals 4 [ (0, false) ] in
+  let stats = run ~constraint_ () in
+  check "z0 constant under x0=0" true (Ps.is_constant stats ~output:0 = Some false);
+  check_int "x0 not sampled" 0 stats.Ps.dependency.(0).(0);
+  check_int "x1 dependency vanished" 0 stats.Ps.dependency.(0).(1)
+
+let test_constant_detection () =
+  let stats = run () in
+  check "z0 is not constant unconstrained" true
+    (Ps.is_constant stats ~output:0 = None)
+
+let test_dependency_count_exact () =
+  (* z1 = x3: every round that toggles x3 flips z1, so D = rounds *)
+  let stats = run ~rounds:100 () in
+  check_int "D_{x3} = rounds" 100 stats.Ps.dependency.(1).(3);
+  check_int "D_{x2} = 0" 0 stats.Ps.dependency.(1).(2)
+
+let test_query_cost () =
+  let box = Box.of_netlist (circuit ()) in
+  let rounds = 64 in
+  ignore (Ps.run ~rounds ~rng:(Rng.create 1) box ~constraint_:(Cube.top 4) ());
+  (* 4 free inputs: cost = rounds * (free + 1) *)
+  check_int "query cost" (rounds * 5) (Box.queries_used box)
+
+let prop_biased_sampling_finds_sensitive_inputs =
+  (* An AND of k inputs: uniform sampling alone rarely exposes dependency for
+     large k; the bias mix must still find the support. *)
+  QCheck.Test.make ~name:"support of wide AND found via biased sampling"
+    ~count:10
+    QCheck.(int_range 6 10)
+    (fun k ->
+      let c =
+        N.create
+          ~input_names:(Array.init k (Printf.sprintf "x%d"))
+          ~output_names:[| "z" |]
+      in
+      let rec conj i acc =
+        if i = k then acc else conj (i + 1) (N.and_ c acc (N.input c i))
+      in
+      N.set_output c 0 (conj 1 (N.input c 0));
+      let box = Box.of_netlist c in
+      let stats =
+        Ps.run ~rounds:512 ~rng:(Rng.create (k * 7)) box
+          ~constraint_:(Cube.top k) ()
+      in
+      List.length (Ps.support stats ~output:0) = k)
+
+let tests =
+  [
+    Alcotest.test_case "support identification" `Quick test_support;
+    Alcotest.test_case "most significant input" `Quick test_most_significant;
+    Alcotest.test_case "truth ratio" `Quick test_truth_ratio;
+    Alcotest.test_case "constrained sampling" `Quick test_constrained_sampling;
+    Alcotest.test_case "constant detection" `Quick test_constant_detection;
+    Alcotest.test_case "exact dependency counts" `Quick test_dependency_count_exact;
+    Alcotest.test_case "query accounting" `Quick test_query_cost;
+    QCheck_alcotest.to_alcotest prop_biased_sampling_finds_sensitive_inputs;
+  ]

@@ -1,0 +1,143 @@
+module Sat = Lr_sat.Sat
+
+let check = Alcotest.(check bool)
+
+let is_sat r = r = Sat.Sat
+
+let test_trivial () =
+  let s = Sat.create () in
+  let a = Sat.new_var s in
+  Sat.add_clause s [ a ];
+  check "unit clause sat" true (is_sat (Sat.solve s));
+  check "model respects unit" true (Sat.value s a)
+
+let test_contradiction () =
+  let s = Sat.create () in
+  let a = Sat.new_var s in
+  Sat.add_clause s [ a ];
+  Sat.add_clause s [ -a ];
+  check "x and ~x unsat" false (is_sat (Sat.solve s))
+
+let test_implication_chain () =
+  let s = Sat.create () in
+  let v = Array.init 20 (fun _ -> Sat.new_var s) in
+  for i = 0 to 18 do
+    Sat.add_clause s [ -v.(i); v.(i + 1) ]
+  done;
+  Sat.add_clause s [ v.(0) ];
+  check "chain sat" true (is_sat (Sat.solve s));
+  check "last implied" true (Sat.value s v.(19));
+  Sat.add_clause s [ -v.(19) ];
+  check "contradicting chain head unsat" false (is_sat (Sat.solve s))
+
+let test_pigeonhole () =
+  (* 4 pigeons, 3 holes: classic small unsat instance *)
+  let s = Sat.create () in
+  let p = Array.init 4 (fun _ -> Array.init 3 (fun _ -> Sat.new_var s)) in
+  for i = 0 to 3 do
+    Sat.add_clause s [ p.(i).(0); p.(i).(1); p.(i).(2) ]
+  done;
+  for h = 0 to 2 do
+    for i = 0 to 3 do
+      for j = i + 1 to 3 do
+        Sat.add_clause s [ -p.(i).(h); -p.(j).(h) ]
+      done
+    done
+  done;
+  check "php(4,3) unsat" false (is_sat (Sat.solve s))
+
+let test_assumptions () =
+  let s = Sat.create () in
+  let a = Sat.new_var s and b = Sat.new_var s in
+  Sat.add_clause s [ -a; b ];
+  check "assume a" true (is_sat (Sat.solve ~assumptions:[ a ] s));
+  check "b forced" true (Sat.value s b);
+  check "assume a & ~b" false (is_sat (Sat.solve ~assumptions:[ a; -b ] s));
+  (* assumptions do not persist *)
+  check "solvable again" true (is_sat (Sat.solve ~assumptions:[ -a ] s))
+
+let test_incremental () =
+  let s = Sat.create () in
+  let xs = Array.init 6 (fun _ -> Sat.new_var s) in
+  Sat.add_clause s [ xs.(0); xs.(1) ];
+  check "first solve" true (is_sat (Sat.solve s));
+  Sat.add_clause s [ -xs.(0) ];
+  Sat.add_clause s [ -xs.(1) ];
+  check "now unsat" false (is_sat (Sat.solve s));
+  check "stays unsat" false (is_sat (Sat.solve s))
+
+(* Reference: brute-force evaluation of a CNF over n variables. *)
+let brute_force n clauses =
+  let rec try_assignment m =
+    if m = 1 lsl n then false
+    else
+      let sat_clause clause =
+        List.exists
+          (fun lit ->
+            let v = abs lit - 1 in
+            let value = (m lsr v) land 1 = 1 in
+            if lit > 0 then value else not value)
+          clause
+      in
+      if List.for_all sat_clause clauses then true else try_assignment (m + 1)
+  in
+  try_assignment 0
+
+let gen_cnf =
+  QCheck.Gen.(
+    int_range 3 9 >>= fun n ->
+    int_range 1 30 >>= fun nclauses ->
+    let gen_lit = int_range 1 n >>= fun v -> oneofl [ v; -v ] in
+    list_repeat nclauses (list_size (int_range 1 3) gen_lit) >|= fun cs ->
+    (n, cs))
+
+let prop_matches_brute_force =
+  QCheck.Test.make ~name:"CDCL agrees with brute force on random 3-CNF"
+    ~count:300
+    (QCheck.make gen_cnf)
+    (fun (n, clauses) ->
+      let s = Sat.create () in
+      for _ = 1 to n do
+        ignore (Sat.new_var s)
+      done;
+      List.iter (Sat.add_clause s) clauses;
+      let got = is_sat (Sat.solve s) in
+      let want = brute_force n clauses in
+      if got <> want then false
+      else if got then
+        (* verify the model actually satisfies every clause *)
+        List.for_all
+          (fun clause ->
+            List.exists
+              (fun lit ->
+                let value = Sat.value s (abs lit) in
+                if lit > 0 then value else not value)
+              clause)
+          clauses
+      else true)
+
+let prop_model_sound_under_assumptions =
+  QCheck.Test.make ~name:"assumptions honoured in model" ~count:200
+    (QCheck.make gen_cnf)
+    (fun (n, clauses) ->
+      let s = Sat.create () in
+      for _ = 1 to n do
+        ignore (Sat.new_var s)
+      done;
+      List.iter (Sat.add_clause s) clauses;
+      let assumption = [ 1 ] in
+      match Sat.solve ~assumptions:assumption s with
+      | Sat.Unsat -> true
+      | Sat.Sat -> Sat.value s 1)
+
+let tests =
+  [
+    Alcotest.test_case "unit clause" `Quick test_trivial;
+    Alcotest.test_case "contradiction" `Quick test_contradiction;
+    Alcotest.test_case "implication chain" `Quick test_implication_chain;
+    Alcotest.test_case "pigeonhole 4->3" `Quick test_pigeonhole;
+    Alcotest.test_case "assumptions" `Quick test_assumptions;
+    Alcotest.test_case "incremental solving" `Quick test_incremental;
+    QCheck_alcotest.to_alcotest prop_matches_brute_force;
+    QCheck_alcotest.to_alcotest prop_model_sound_under_assumptions;
+  ]

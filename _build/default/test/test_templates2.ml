@@ -1,0 +1,137 @@
+(* Second template suite: every predicate through the generator API, and
+   negative cases that must NOT match. *)
+
+module Bv = Lr_bitvec.Bv
+module Rng = Lr_bitvec.Rng
+module N = Lr_netlist.Netlist
+module Box = Lr_blackbox.Blackbox
+module Cases = Lr_cases.Cases
+module T = Lr_templates.Templates
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let scan_circuit c = T.scan ~rng:(Rng.create 123) (Box.of_netlist c)
+
+let test_all_six_ops_vector_vector () =
+  List.iter
+    (fun (op, _name) ->
+      let c =
+        Cases.random_diag ~seed:17
+          ~vectors:[ ("a", 10); ("b", 10) ]
+          ~num_scalars:4
+          ~outputs:[ Cases.Cmp (op, "a", `V "b") ]
+      in
+      let m = scan_circuit c in
+      match m.T.comparators with
+      | [ cmp ] ->
+          check
+            (Printf.sprintf "op %s recovered" (T.op_to_string cmp.T.cmp_op))
+            true
+            (cmp.T.cmp_op = op
+            || (* a<b and b>a are the same predicate with sides swapped *)
+            (cmp.T.cmp_op = T.negate_op op && false))
+      | l -> Alcotest.failf "expected one comparator, got %d" (List.length l))
+    [ (`Eq, "eq"); (`Ne, "ne"); (`Lt, "lt"); (`Le, "le"); (`Gt, "gt"); (`Ge, "ge") ]
+
+let test_le_not_confused_with_lt () =
+  (* the forced x = y probes are what tell Le from Lt *)
+  let c =
+    Cases.random_diag ~seed:18
+      ~vectors:[ ("a", 8); ("b", 8) ]
+      ~num_scalars:2
+      ~outputs:[ Cases.Cmp (`Le, "a", `V "b"); Cases.Cmp (`Lt, "a", `V "b") ]
+  in
+  let m = scan_circuit c in
+  let find po = List.find_opt (fun cm -> cm.T.po = po) m.T.comparators in
+  (match find 0 with
+  | Some { T.cmp_op = `Le; _ } -> ()
+  | Some { T.cmp_op = op; _ } ->
+      Alcotest.failf "po0 matched %s, wanted <=" (T.op_to_string op)
+  | None -> Alcotest.fail "po0 unmatched");
+  match find 1 with
+  | Some { T.cmp_op = `Lt; _ } -> ()
+  | Some { T.cmp_op = op; _ } ->
+      Alcotest.failf "po1 matched %s, wanted <" (T.op_to_string op)
+  | None -> Alcotest.fail "po1 unmatched"
+
+let test_eq_const_by_sweep () =
+  let c =
+    Cases.random_diag ~seed:19
+      ~vectors:[ ("v", 10) ]
+      ~num_scalars:3
+      ~outputs:[ Cases.Cmp (`Eq, "v", `C 777); Cases.Cmp (`Ne, "v", `C 99) ]
+  in
+  let m = scan_circuit c in
+  let find po = List.find_opt (fun cm -> cm.T.po = po) m.T.comparators in
+  (match find 0 with
+  | Some { T.cmp_op = `Eq; rhs = T.Const 777; _ } -> ()
+  | _ -> Alcotest.fail "v == 777 not recovered");
+  match find 1 with
+  | Some { T.cmp_op = `Ne; rhs = T.Const 99; _ } -> ()
+  | _ -> Alcotest.fail "v != 99 not recovered"
+
+let test_near_comparator_rejected () =
+  (* z = (a < b) XOR a[0]: not a pure predicate; must not match *)
+  let input_names = Cases.random_diag ~seed:20
+      ~vectors:[ ("a", 6); ("b", 6) ] ~num_scalars:2
+      ~outputs:[ Cases.Cmp (`Lt, "a", `V "b") ] |> N.input_names in
+  let c = N.create ~input_names ~output_names:[| "z" |] in
+  let a = Array.init 6 (fun i -> N.input c i) in
+  let b = Array.init 6 (fun i -> N.input c (6 + i)) in
+  N.set_output c 0
+    (N.xor_ c (Lr_netlist.Builder.compare_op c `Lt a b) a.(0));
+  let m = scan_circuit c in
+  check_int "no comparator claimed" 0 (List.length m.T.comparators);
+  check_int "no linear claimed" 0 (List.length m.T.linears)
+
+let test_linear_negative_coefficient () =
+  (* subtraction: z = a - b mod 2^w has a_b = 2^w - 1; must verify *)
+  let c =
+    Cases.random_data
+      ~vectors:[ ("a", 8); ("b", 8) ]
+      ~num_scalars:2 ~width:8
+      ~terms:[ (1, "a"); (255, "b") ]
+      ~offset:0
+  in
+  let m = scan_circuit c in
+  match m.T.linears with
+  | [ l ] ->
+      let coeff base =
+        List.find_map
+          (fun (x, v) -> if v.Lr_grouping.Grouping.base = base then Some x else None)
+          l.T.terms
+      in
+      check "a coefficient" true (coeff "a" = Some 1);
+      check "b coefficient = -1 mod 256" true (coeff "b" = Some 255)
+  | _ -> Alcotest.fail "subtraction must match the linear template"
+
+let test_multi_vector_linear () =
+  let c =
+    Cases.random_data
+      ~vectors:[ ("p", 6); ("q", 6); ("r", 6); ("s", 6) ]
+      ~num_scalars:0 ~width:10
+      ~terms:[ (2, "p"); (3, "q"); (4, "r"); (5, "s") ]
+      ~offset:17
+  in
+  let m = scan_circuit c in
+  match m.T.linears with
+  | [ l ] ->
+      check_int "four terms" 4 (List.length l.T.terms);
+      check_int "offset 17" 17 l.T.offset
+  | _ -> Alcotest.fail "4-term linear not recovered"
+
+let tests =
+  [
+    Alcotest.test_case "all six vector-vector predicates" `Quick
+      test_all_six_ops_vector_vector;
+    Alcotest.test_case "Le vs Lt disambiguation" `Quick
+      test_le_not_confused_with_lt;
+    Alcotest.test_case "Eq/Ne against constants (sweep)" `Quick
+      test_eq_const_by_sweep;
+    Alcotest.test_case "near-comparator rejected" `Quick
+      test_near_comparator_rejected;
+    Alcotest.test_case "negative (modular) coefficients" `Quick
+      test_linear_negative_coefficient;
+    Alcotest.test_case "four-term linear" `Quick test_multi_vector_linear;
+  ]
