@@ -20,6 +20,8 @@ module Eval = Lr_eval.Eval
 module Baselines = Lr_baselines.Baselines
 module Config = Logic_regression.Config
 module Learner = Logic_regression.Learner
+module Instr = Lr_instr.Instr
+module Json = Lr_instr.Json
 
 type scale = {
   support_rounds : int;
@@ -417,22 +419,71 @@ let micro () =
     results;
   print_newline ()
 
+(* ---------------- machine-readable report ---------------- *)
+
+let json_of_measurement m =
+  Json.Obj
+    [
+      ("size", Json.Int m.size);
+      ("accuracy", Json.Float m.accuracy);
+      ("time_s", Json.Float m.time_s);
+    ]
+
+let json_of_rows rows =
+  Json.Obj
+    [
+      ("schema", Json.String "lr-bench-report/v1");
+      ( "rows",
+        Json.List
+          (List.map
+             (fun (spec, contest, sop, id3, improved) ->
+               Json.Obj
+                 [
+                   ("case", Json.String spec.Cases.name);
+                   ( "category",
+                     Json.String (Cases.category_to_string spec.Cases.category)
+                   );
+                   ("contest", json_of_measurement contest);
+                   ("sop", json_of_measurement sop);
+                   ("id3", json_of_measurement id3);
+                   ("improved", json_of_measurement improved);
+                 ])
+             rows) );
+    ]
+
 (* ---------------- driver ---------------- *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let quick = List.mem "--quick" args in
+  let metrics = List.mem "--metrics" args in
   let scale = if quick then quick_scale else default_scale in
-  let args = List.filter (fun a -> a <> "--quick") args in
+  (* [--trace FILE] / [--json FILE] take a value; the rest are flags *)
+  let rec extract key = function
+    | [] -> (None, [])
+    | k :: v :: rest when k = key -> (Some v, rest)
+    | x :: rest ->
+        let r, rest' = extract key rest in
+        (r, x :: rest')
+  in
+  let trace, args = extract "--trace" args in
+  let json, args = extract "--json" args in
+  let args =
+    List.filter (fun a -> a <> "--quick" && a <> "--metrics") args
+  in
+  Instr.set_sinks
+    ((match trace with Some f -> [ Instr.chrome_trace_file f ] | None -> [])
+    @ if metrics then [ Instr.stderr_summary () ] else []);
   let what = match args with [] -> "all" | w :: _ -> w in
-  match what with
-  | "table2" -> ignore (table2 scale)
+  let rows = ref [] in
+  (match what with
+  | "table2" -> rows := table2 scale
   | "ablation" -> ablation scale
   | "extensions" -> extensions scale
   | "scaling" -> scaling scale
   | "micro" -> micro ()
   | "all" ->
-      ignore (table2 scale);
+      rows := table2 scale;
       ablation scale;
       extensions scale;
       scaling scale;
@@ -441,4 +492,14 @@ let () =
       Printf.eprintf
         "unknown benchmark %s (use table2|ablation|extensions|scaling|micro|all)\n"
         other;
-      exit 1
+      exit 1);
+  Instr.flush_sinks ();
+  match json with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Json.to_string (json_of_rows !rows));
+      output_string oc "\n";
+      close_out oc;
+      Printf.printf "json report written to %s (%d table2 rows)\n" path
+        (List.length !rows)
+  | None -> ()

@@ -12,6 +12,8 @@ module G = Lr_grouping.Grouping
 module Config = Logic_regression.Config
 module Learner = Logic_regression.Learner
 module Baselines = Lr_baselines.Baselines
+module Instr = Lr_instr.Instr
+module Json = Lr_instr.Json
 
 open Cmdliner
 
@@ -51,6 +53,49 @@ let no_grouping_arg =
 let out_arg =
   let doc = "Write the learned circuit to this file." in
   Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let trace_arg =
+  let doc =
+    "Write a Chrome trace_event JSON file of the run (open it in \
+     chrome://tracing or Perfetto): one duration event per pipeline span, \
+     counter tracks for queries/nodes/cubes."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc = "Print a per-span time/counter summary to stderr after the run." in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let json_arg =
+  let doc =
+    "Write a machine-readable run report (schema lr-run-report/v1): \
+     per-output method/support/cubes, per-phase seconds and query counts, \
+     circuit size, accuracy."
+  in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+(* fail before the (possibly long) run, with a clean message instead of
+   an uncaught Sys_error at the end of it *)
+let open_out_or_die ~flag path =
+  try open_out path
+  with Sys_error msg ->
+    Printf.eprintf "error: cannot open %s file: %s\n" flag msg;
+    exit 1
+
+(* attach the requested sinks; returns a finalizer *)
+let setup_sinks ~trace ~metrics =
+  let sinks =
+    (match trace with
+    | Some f ->
+        close_out (open_out_or_die ~flag:"--trace" f);
+        [ Instr.chrome_trace_file f ]
+    | None -> [])
+    @ (if metrics then [ Instr.stderr_summary () ] else [])
+  in
+  Instr.set_sinks sinks;
+  fun () ->
+    Instr.flush_sinks ();
+    Instr.set_sinks []
 
 let case_pos =
   let doc = "Benchmark case name (see the list subcommand) or a circuit file path." in
@@ -100,8 +145,93 @@ let describe_matches m =
         | Some _ -> "   [hidden: via propagation cube]"))
     m.T.comparators
 
+let json_of_run ~case ~eval_patterns ~accuracy report =
+  let c = report.Learner.circuit in
+  let stats = N.stats c in
+  let phases =
+    List.map
+      (fun (name, seconds) ->
+        let queries =
+          match List.assoc_opt name report.Learner.phase_queries with
+          | Some q -> q
+          | None -> 0
+        in
+        Json.Obj
+          [
+            ("name", Json.String name);
+            ("seconds", Json.Float seconds);
+            ("queries", Json.Int queries);
+          ])
+      report.Learner.phase_times
+    @
+    match List.assoc_opt "other" report.Learner.phase_queries with
+    | Some q ->
+        [
+          Json.Obj
+            [
+              ("name", Json.String "other");
+              ("seconds", Json.Float 0.0);
+              ("queries", Json.Int q);
+            ];
+        ]
+    | None -> []
+  in
+  let outputs =
+    List.map
+      (fun r ->
+        Json.Obj
+          [
+            ("name", Json.String r.Learner.output_name);
+            ( "method",
+              Json.String (Learner.method_to_string r.Learner.method_used) );
+            ("support", Json.Int r.Learner.support_size);
+            ("cubes", Json.Int r.Learner.cubes);
+            ("used_offset", Json.Bool r.Learner.used_offset);
+            ("complete", Json.Bool r.Learner.complete);
+            ("compressed", Json.Bool r.Learner.compressed);
+          ])
+      report.Learner.outputs
+  in
+  Json.Obj
+    [
+      ("schema", Json.String "lr-run-report/v1");
+      ("case", Json.String case);
+      ("inputs", Json.Int (N.num_inputs c));
+      ("outputs", Json.Int (N.num_outputs c));
+      ("size", Json.Int (N.size c));
+      ("inverters", Json.Int stats.N.inverters);
+      ("depth", Json.Int stats.N.depth);
+      ("queries", Json.Int report.Learner.queries);
+      ("elapsed_s", Json.Float report.Learner.elapsed_s);
+      ( "accuracy",
+        match accuracy with Some a -> Json.Float a | None -> Json.Null );
+      ("eval_patterns", Json.Int eval_patterns);
+      ("phases", Json.List phases);
+      ("outputs_detail", Json.List outputs);
+    ]
+
+let print_phase_breakdown report =
+  let total_q = max 1 report.Learner.queries in
+  Printf.printf "per-phase:\n";
+  List.iter
+    (fun (name, seconds) ->
+      let queries =
+        match List.assoc_opt name report.Learner.phase_queries with
+        | Some q -> q
+        | None -> 0
+      in
+      Printf.printf "  %-12s %8.3f s %10d queries (%5.1f%%)\n" name seconds
+        queries
+        (100.0 *. float_of_int queries /. float_of_int total_q))
+    report.Learner.phase_times;
+  match List.assoc_opt "other" report.Learner.phase_queries with
+  | Some q when q > 0 ->
+      Printf.printf "  %-12s %8s   %10d queries (%5.1f%%)\n" "other" "-" q
+        (100.0 *. float_of_int q /. float_of_int total_q)
+  | _ -> ()
+
 let learn_run case preset seed budget eval_patterns support_rounds no_templates
-    no_grouping out =
+    no_grouping out trace metrics json =
   let config =
     {
       preset with
@@ -113,7 +243,10 @@ let learn_run case preset seed budget eval_patterns support_rounds no_templates
     }
   in
   let box, golden = resolve_box ~budget case in
+  let json_oc = Option.map (open_out_or_die ~flag:"--json") json in
+  let finish_sinks = setup_sinks ~trace ~metrics in
   let report = Learner.learn ~config box in
+  finish_sinks ();
   let c = report.Learner.circuit in
   Printf.printf "learned %s: %d PI, %d PO\n" case (N.num_inputs c)
     (N.num_outputs c);
@@ -121,6 +254,7 @@ let learn_run case preset seed budget eval_patterns support_rounds no_templates
     (N.size c) (N.stats c).N.inverters (N.stats c).N.depth;
   Printf.printf "  queries: %d\n" report.Learner.queries;
   Printf.printf "  time:    %.2f s\n" report.Learner.elapsed_s;
+  print_phase_breakdown report;
   (match report.Learner.matches with
   | Some m when m.T.linears <> [] || m.T.comparators <> [] ->
       Printf.printf "templates matched:\n";
@@ -136,14 +270,28 @@ let learn_run case preset seed budget eval_patterns support_rounds no_templates
         (if r.Learner.compressed then " [compressed]" else "")
         (if r.Learner.complete then "" else " [budget-truncated]"))
     report.Learner.outputs;
-  (match golden with
-  | Some golden ->
-      let acc =
-        Eval.accuracy ~count:eval_patterns ~rng:(Rng.create (seed + 7919))
-          ~golden ~candidate:c ()
-      in
-      Printf.printf "accuracy: %.4f%% on %d patterns\n" (100.0 *. acc)
-        eval_patterns
+  let accuracy =
+    match golden with
+    | Some golden ->
+        let acc =
+          Eval.accuracy ~count:eval_patterns ~rng:(Rng.create (seed + 7919))
+            ~golden ~candidate:c ()
+        in
+        Printf.printf "accuracy: %.4f%% on %d patterns\n" (100.0 *. acc)
+          eval_patterns;
+        Some (100.0 *. acc)
+    | None -> None
+  in
+  (match (json, json_oc) with
+  | Some path, Some oc ->
+      output_string oc
+        (Json.to_string (json_of_run ~case ~eval_patterns ~accuracy report));
+      output_string oc "\n";
+      close_out oc;
+      Printf.printf "json report written to %s\n" path
+  | _ -> ());
+  (match trace with
+  | Some path -> Printf.printf "trace written to %s\n" path
   | None -> ());
   (match out with
   | Some path ->
@@ -159,7 +307,7 @@ let learn_cmd =
     Term.(
       const learn_run $ case_pos $ preset_arg $ seed_arg $ budget_arg
       $ eval_arg $ support_rounds_arg $ no_templates_arg $ no_grouping_arg
-      $ out_arg)
+      $ out_arg $ trace_arg $ metrics_arg $ json_arg)
 
 (* ---------- baseline ---------- *)
 

@@ -123,19 +123,27 @@ let rewrite aig =
   Aig.compact out
 
 let compress ?(max_rounds = 4) ?(fraig_words = 16) ~rng aig =
+  let module Instr = Lr_instr.Instr in
   let step a =
-    let a = balance a in
-    let a = rewrite a in
-    let a = Rewrite.cut_rewrite a in
-    Fraig.sweep ~words:fraig_words ~rng a
+    let a = Instr.span ~name:"aig.balance" (fun () -> balance a) in
+    let a = Instr.span ~name:"aig.rewrite" (fun () -> rewrite a) in
+    let a = Instr.span ~name:"aig.cut-rewrite" (fun () -> Rewrite.cut_rewrite a) in
+    Instr.span ~name:"aig.fraig" (fun () -> Fraig.sweep ~words:fraig_words ~rng a)
   in
   let rec loop round best =
     if round >= max_rounds then best
     else begin
       let candidate = step best in
-      if Aig.num_ands candidate < Aig.num_ands best then
+      Instr.count "aig.opt-rounds" 1;
+      Instr.gauge "aig.ands" (float_of_int (Aig.num_ands candidate));
+      if Aig.num_ands candidate < Aig.num_ands best then begin
+        Instr.count "aig.ands-removed"
+          (Aig.num_ands best - Aig.num_ands candidate);
         loop (round + 1) candidate
+      end
       else best
     end
   in
-  loop 0 (Aig.compact aig)
+  let start = Aig.compact aig in
+  Instr.gauge "aig.ands" (float_of_int (Aig.num_ands start));
+  loop 0 start

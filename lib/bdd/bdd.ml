@@ -18,6 +18,7 @@ type man = {
   xor_cache : (node * node, node) Hashtbl.t;
   not_cache : (node, node) Hashtbl.t;
   ite_cache : (node * node * node, node) Hashtbl.t;
+  mutable cache_hits : int;  (* apply-cache hits, for telemetry *)
 }
 
 let man ~nvars =
@@ -33,6 +34,7 @@ let man ~nvars =
       xor_cache = Hashtbl.create 4096;
       not_cache = Hashtbl.create 4096;
       ite_cache = Hashtbl.create 4096;
+      cache_hits = 0;
     }
   in
   m.level.(0) <- nvars;
@@ -81,7 +83,9 @@ let rec not_ m n =
   else if n = 1 then 0
   else
     match Hashtbl.find_opt m.not_cache n with
-    | Some r -> r
+    | Some r ->
+        m.cache_hits <- m.cache_hits + 1;
+        r
     | None ->
         let r = mk m m.level.(n) (not_ m m.low.(n)) (not_ m m.high.(n)) in
         Hashtbl.replace m.not_cache n r;
@@ -95,7 +99,9 @@ let rec and_ m a b =
   else begin
     let key = if a < b then a, b else b, a in
     match Hashtbl.find_opt m.and_cache key with
-    | Some r -> r
+    | Some r ->
+        m.cache_hits <- m.cache_hits + 1;
+        r
     | None ->
         let la = m.level.(a) and lb = m.level.(b) in
         let v = min la lb in
@@ -119,7 +125,9 @@ let rec xor_ m a b =
   else begin
     let key = if a < b then a, b else b, a in
     match Hashtbl.find_opt m.xor_cache key with
-    | Some r -> r
+    | Some r ->
+        m.cache_hits <- m.cache_hits + 1;
+        r
     | None ->
         let la = m.level.(a) and lb = m.level.(b) in
         let v = min la lb in
@@ -140,7 +148,9 @@ let rec ite m f g h =
   else if g = 0 && h = 1 then not_ m f
   else
     match Hashtbl.find_opt m.ite_cache (f, g, h) with
-    | Some r -> r
+    | Some r ->
+        m.cache_hits <- m.cache_hits + 1;
+        r
     | None ->
         let lev n = m.level.(n) in
         let v = min (lev f) (min (lev g) (lev h)) in
@@ -346,3 +356,10 @@ let low m n =
 
 let high m n =
   if n < 2 then invalid_arg "Bdd.high: terminal node" else m.high.(n)
+
+let num_nodes m = m.len - 2
+let cache_hits m = m.cache_hits
+
+let record_counters m =
+  Lr_instr.Instr.count "bdd.nodes" (num_nodes m);
+  Lr_instr.Instr.count "bdd.cache-hits" m.cache_hits

@@ -86,3 +86,18 @@ val top_var : man -> node -> int option
 val low : man -> node -> node
 val high : man -> node -> node
 (** Children; fail on terminals. *)
+
+(** {2 Telemetry} *)
+
+val num_nodes : man -> int
+(** Internal nodes hash-consed into this manager so far (terminals
+    excluded) — a measure of total BDD work, monotone over the
+    manager's lifetime. *)
+
+val cache_hits : man -> int
+(** Hits in the apply caches (and/xor/not/ite) so far. *)
+
+val record_counters : man -> unit
+(** Emit [bdd.nodes] and [bdd.cache-hits] counters for this manager to
+    {!Lr_instr.Instr} (attributed to the current span). Call once when
+    done with a manager; calling repeatedly double-counts. *)

@@ -1,5 +1,6 @@
 module Bv = Lr_bitvec.Bv
 module N = Lr_netlist.Netlist
+module Instr = Lr_instr.Instr
 
 type provider =
   | Circuit of N.t
@@ -13,6 +14,8 @@ type t = {
   deadline_s : float option;
   mutable used : int;
   mutable started_at : float;
+  by_span : (string, int ref) Hashtbl.t;
+  mutable span_order : string list;  (** first-seen attribution keys *)
 }
 
 let make ?budget ?deadline_s provider ~input_names ~output_names =
@@ -24,6 +27,8 @@ let make ?budget ?deadline_s provider ~input_names ~output_names =
     deadline_s;
     used = 0;
     started_at = Unix.gettimeofday ();
+    by_span = Hashtbl.create 16;
+    span_order = [];
   }
 
 let of_netlist ?budget ?deadline_s c =
@@ -42,22 +47,37 @@ let check_width t a =
   if Bv.length a <> num_inputs t then
     invalid_arg "Blackbox.query: assignment width mismatch"
 
+(* Charge [n] queries to the innermost open instrumentation span, so a
+   report can say where the budget went phase by phase. *)
+let attribute t n =
+  t.used <- t.used + n;
+  let key = Instr.current_span_name () in
+  (match Hashtbl.find_opt t.by_span key with
+  | Some r -> r := !r + n
+  | None ->
+      Hashtbl.add t.by_span key (ref n);
+      t.span_order <- key :: t.span_order);
+  Instr.count "queries" n
+
 let query t a =
   check_width t a;
-  t.used <- t.used + 1;
+  attribute t 1;
   match t.provider with
   | Circuit c -> N.eval c a
   | Function f -> f a
 
 let query_many t patterns =
   Array.iter (check_width t) patterns;
-  t.used <- t.used + Array.length patterns;
+  attribute t (Array.length patterns);
   match t.provider with
   | Circuit c -> N.eval_many c patterns
   | Function f -> Array.map f patterns
 
 let queries_used t = t.used
 let budget t = t.budget
+
+let queries_by_span t =
+  List.rev_map (fun k -> (k, !(Hashtbl.find t.by_span k))) t.span_order
 
 let exhausted t =
   (match t.budget with Some b -> t.used >= b | None -> false)
@@ -67,6 +87,8 @@ let exhausted t =
 
 let reset_accounting t =
   t.used <- 0;
-  t.started_at <- Unix.gettimeofday ()
+  t.started_at <- Unix.gettimeofday ();
+  Hashtbl.reset t.by_span;
+  t.span_order <- []
 
 let golden t = match t.provider with Circuit c -> Some c | Function _ -> None

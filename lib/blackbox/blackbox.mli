@@ -41,12 +41,26 @@ val query_many : t -> Lr_bitvec.Bv.t array -> Lr_bitvec.Bv.t array
 val queries_used : t -> int
 val budget : t -> int option
 
+val queries_by_span : t -> (string * int) list
+(** Per-phase query attribution: every query is charged to the
+    instrumentation span ({!Lr_instr.Instr.span}) that was innermost when
+    it was issued ([""] when none was open), in first-seen order. The
+    totals always sum to {!queries_used} — the learner turns this into
+    the per-phase query breakdown of its report. *)
+
 val exhausted : t -> bool
-(** True once the query budget or the wall-clock deadline is spent. *)
+(** True once the query budget {e or} the wall-clock deadline is spent.
+    Both causes are observable through this single predicate: poll it
+    between batched {!query_many} calls (queries never fail — exhaustion
+    is advisory, mirroring Algorithm 2's "TimeLimit is exceeded" test),
+    and note that a deadline can flip [exhausted] even when
+    {!queries_used} is still under {!budget}. *)
 
 val reset_accounting : t -> unit
-(** Zero the query counter and restart the deadline clock (benchmarks call
-    this between methods sharing one box). *)
+(** Zero the query counter, restart the deadline clock, {e and} clear the
+    per-span attribution table ({!queries_by_span} becomes []) —
+    benchmarks call this between methods sharing one box, and stale
+    attribution would otherwise leak across runs. *)
 
 val golden : t -> Lr_netlist.Netlist.t option
 (** The wrapped circuit, if any. {b Evaluation-only}: learners must not call

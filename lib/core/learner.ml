@@ -13,6 +13,7 @@ module Fbdt = Lr_fbdt.Fbdt
 module Bdd = Lr_bdd.Bdd
 module Aig = Lr_aig.Aig
 module Opt = Lr_aig.Opt
+module Instr = Lr_instr.Instr
 
 type method_used =
   | Linear_template
@@ -47,7 +48,13 @@ type report = {
   queries : int;
   elapsed_s : float;
   matches : Lr_templates.Templates.matches option;
+  phase_times : (string * float) list;
+  phase_queries : (string * int) list;
 }
+
+(* The five pipeline phases of Figure 1, in execution order; span names in
+   traces and keys of [phase_times]/[phase_queries]. *)
+let phase_names = [ "templates"; "support-id"; "fbdt"; "cover-min"; "aig-opt" ]
 
 (* representative (lhs, rhs) vector values realising the predicate value:
    [reps op] = ((x_false, y_false), (x_true, y_true)) *)
@@ -134,12 +141,16 @@ let minimize_cover ~arity ~chosen ~other =
        tree may leave overlap; guard by intersecting bounds *)
     let lower = Bdd.and_ man lower upper in
     let budget = max 2048 (2 * Cover.num_cubes cheap) in
-    match Bdd.isop_bounded man ~max_cubes:budget ~lower ~upper with
-    | Some isop
-      when Cover.num_cubes isop < Cover.num_cubes cheap
-           || Cover.num_literals isop < Cover.num_literals cheap ->
-        isop
-    | Some _ | None -> cheap
+    let minimized =
+      match Bdd.isop_bounded man ~max_cubes:budget ~lower ~upper with
+      | Some isop
+        when Cover.num_cubes isop < Cover.num_cubes cheap
+             || Cover.num_literals isop < Cover.num_literals cheap ->
+          isop
+      | Some _ | None -> cheap
+    in
+    Bdd.record_counters man;
+    minimized
   end
   else cheap
 
@@ -183,13 +194,25 @@ let learn ?(config = Config.default) box =
   in
   let pi = Array.init ni (N.input circuit) in
   let vec_nodes v = Array.map (fun s -> pi.(s)) v.G.bits in
+  (* per-phase wall-clock accumulator: a phase span may run many times
+     (once per remaining output for fbdt/cover-min); the report sums them *)
+  let phase_time = Hashtbl.create 8 in
+  List.iter (fun n -> Hashtbl.replace phase_time n 0.0) phase_names;
+  let phase name f =
+    let r, dt = Instr.timed_span ~name f in
+    Hashtbl.replace phase_time name (Hashtbl.find phase_time name +. dt);
+    r
+  in
+  Instr.span ~name:"learn" @@ fun () ->
   (* ---- steps 1 & 2: grouping + template matching ---- *)
   let matches =
-    if config.Config.use_grouping && config.Config.use_templates then
-      Some
-        (T.scan ~samples:config.Config.template_samples
-           ~prop_cubes:config.Config.template_prop_cubes ~rng:template_rng box)
-    else None
+    phase "templates" (fun () ->
+        if config.Config.use_grouping && config.Config.use_templates then
+          Some
+            (T.scan ~samples:config.Config.template_samples
+               ~prop_cubes:config.Config.template_prop_cubes
+               ~rng:template_rng box)
+        else None)
   in
   let reports = ref [] in
   let handled = Hashtbl.create 16 in
@@ -307,15 +330,17 @@ let learn ?(config = Config.default) box =
   in
   (* ---- step 3: support identification, one pass for all outputs ---- *)
   let stats =
-    if remaining = [] then None
-    else
-      Some
-        (Ps.run ~rounds:config.Config.support_rounds ~rng:support_rng box
-           ~constraint_:(Cube.top ni) ())
+    phase "support-id" (fun () ->
+        if remaining = [] then None
+        else
+          Some
+            (Ps.run ~rounds:config.Config.support_rounds ~rng:support_rng box
+               ~constraint_:(Cube.top ni) ()))
   in
   (* ---- step 4 per remaining output ---- *)
   List.iter
     (fun po ->
+      Instr.span ~name:("po:" ^ out_names.(po)) @@ fun () ->
       let stats = Option.get stats in
       let raw_support = Ps.support stats ~output:po in
       let compression =
@@ -341,6 +366,7 @@ let learn ?(config = Config.default) box =
       in
       let oracle = oracle_for box dom ~output:po in
       let result, method_used =
+        phase "fbdt" @@ fun () ->
         if List.length support <= config.Config.small_support_threshold then
           ( Fbdt.learn_exhaustive ~rng:tree_rng ~support oracle,
             Exhaustive )
@@ -403,6 +429,7 @@ let learn ?(config = Config.default) box =
               | None -> assert false)
       in
       let node, cubes_built =
+        phase "cover-min" @@ fun () ->
         match result.Fbdt.table with
         | Some table ->
             (* exhaustive conquest: collapse the exact truth table to a BDD
@@ -416,17 +443,21 @@ let learn ?(config = Config.default) box =
             in
             let target = if use_offset then Bdd.not_ man f else f in
             let mux_cost = 3 * Bdd.size man f in
-            (match
-               Bdd.isop_bounded man ~max_cubes:(max 512 mux_cost)
-                 ~lower:target ~upper:target
-             with
-            | Some cover
-              when Cover.num_literals cover + Cover.num_cubes cover
-                   <= mux_cost ->
-                let n = B.sop circuit vars cover in
-                ( (if use_offset then N.not_ circuit n else n),
-                  Cover.num_cubes cover )
-            | Some _ | None -> (mux_tree_of_bdd circuit man vars f, 0))
+            let built =
+              match
+                Bdd.isop_bounded man ~max_cubes:(max 512 mux_cost)
+                  ~lower:target ~upper:target
+              with
+              | Some cover
+                when Cover.num_literals cover + Cover.num_cubes cover
+                     <= mux_cost ->
+                  let n = B.sop circuit vars cover in
+                  ( (if use_offset then N.not_ circuit n else n),
+                    Cover.num_cubes cover )
+              | Some _ | None -> (mux_tree_of_bdd circuit man vars f, 0)
+            in
+            Bdd.record_counters man;
+            built
         | None ->
             let chosen, other =
               if use_offset then (result.Fbdt.offset, result.Fbdt.onset)
@@ -441,6 +472,7 @@ let learn ?(config = Config.default) box =
             ( (if use_offset then N.not_ circuit n else n),
               Cover.num_cubes cover )
       in
+      Instr.count "cover.cubes" cubes_built;
       N.set_output circuit po node;
       reports :=
         {
@@ -457,20 +489,44 @@ let learn ?(config = Config.default) box =
     remaining;
   (* ---- step 5: circuit optimization ---- *)
   let circuit =
-    if config.Config.optimize then begin
-      let aig = Aig.of_netlist circuit in
-      let aig =
-        (* fraig's SAT sweeping is super-linear; on the enormous netlists a
-           budget-truncated tree produces, restrict to the linear passes *)
-        if Aig.num_ands aig > 25_000 then Opt.rewrite (Opt.balance aig)
-        else
-          Opt.compress ~max_rounds:config.Config.optimize_rounds
-            ~fraig_words:config.Config.fraig_words ~rng:opt_rng aig
-      in
-      Aig.to_netlist ~input_names:(Box.input_names box)
-        ~output_names:(Box.output_names box) aig
-    end
-    else circuit
+    phase "aig-opt" (fun () ->
+        if config.Config.optimize then begin
+          let aig = Aig.of_netlist circuit in
+          let aig =
+            (* fraig's SAT sweeping is super-linear; on the enormous
+               netlists a budget-truncated tree produces, restrict to the
+               linear passes *)
+            if Aig.num_ands aig > 25_000 then Opt.rewrite (Opt.balance aig)
+            else
+              Opt.compress ~max_rounds:config.Config.optimize_rounds
+                ~fraig_words:config.Config.fraig_words ~rng:opt_rng aig
+          in
+          Aig.to_netlist ~input_names:(Box.input_names box)
+            ~output_names:(Box.output_names box) aig
+        end
+        else circuit)
+  in
+  let phase_times =
+    List.map (fun n -> (n, Hashtbl.find phase_time n)) phase_names
+  in
+  let phase_queries =
+    (* attribution key is the innermost span name at query time, which for
+       every query the pipeline issues is one of the phase spans; anything
+       else (a caller's own probing) lands in "other" so the totals always
+       sum to [Box.queries_used]. *)
+    let by_span = Box.queries_by_span box in
+    let known =
+      List.map
+        (fun n ->
+          (n, match List.assoc_opt n by_span with Some q -> q | None -> 0))
+        phase_names
+    in
+    let other =
+      List.fold_left
+        (fun acc (k, q) -> if List.mem k phase_names then acc else acc + q)
+        0 by_span
+    in
+    known @ [ ("other", other) ]
   in
   {
     circuit;
@@ -478,4 +534,6 @@ let learn ?(config = Config.default) box =
     queries = Box.queries_used box;
     elapsed_s = Unix.gettimeofday () -. t0;
     matches;
+    phase_times;
+    phase_queries;
   }

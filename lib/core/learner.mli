@@ -43,7 +43,23 @@ type report = {
   queries : int;  (** black-box queries consumed *)
   elapsed_s : float;
   matches : Lr_templates.Templates.matches option;
+  phase_times : (string * float) list;
+      (** wall-clock seconds per pipeline phase, keyed by {!phase_names}
+          in execution order — fed by the {!Lr_instr.Instr} spans the
+          learner opens around each step (the per-output [fbdt] and
+          [cover-min] spans are summed) *)
+  phase_queries : (string * int) list;
+      (** black-box queries per phase ({!phase_names} order, plus a final
+          ["other"] bucket for queries the caller issued outside the
+          pipeline); the values always sum to [queries] *)
 }
+
+val phase_names : string list
+(** The five pipeline phases of Figure 1, in execution order:
+    [templates] (steps 1–2), [support-id] (step 3), [fbdt] (step 4),
+    [cover-min] (two-level minimization / BDD collapse), [aig-opt]
+    (step 5). These are the span names emitted to traces and the keys of
+    [phase_times] / [phase_queries]. *)
 
 val learn : ?config:Config.t -> Lr_blackbox.Blackbox.t -> report
 (** Learn a circuit for the black-box. The box's budget (if any) drives the

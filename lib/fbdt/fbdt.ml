@@ -2,6 +2,7 @@ module Bv = Lr_bitvec.Bv
 module Rng = Lr_bitvec.Rng
 module Cube = Lr_cube.Cube
 module Cover = Lr_cube.Cover
+module Instr = Lr_instr.Instr
 
 type config = {
   node_rounds : int;
@@ -208,6 +209,8 @@ let learn ?support cfg ~rng (oracle : Oracle.t) =
       end
     end
   done;
+  Instr.count "fbdt.nodes" !expanded;
+  Instr.count "fbdt.cubes" (List.length !onset + List.length !offset);
   {
     onset = Cover.of_cubes n !onset;
     offset = Cover.of_cubes n !offset;
@@ -245,6 +248,8 @@ let learn_exhaustive ~rng:_ ~support (oracle : Oracle.t) =
       end
       else offset := cube :: !offset)
     out;
+  Instr.count "fbdt.nodes" (1 lsl k);
+  Instr.count "fbdt.cubes" (1 lsl k);
   {
     onset = Cover.of_cubes n !onset;
     offset = Cover.of_cubes n !offset;

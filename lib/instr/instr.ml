@@ -1,0 +1,357 @@
+type event =
+  | Span_begin of { name : string; path : string; ts : float; depth : int }
+  | Span_end of {
+      name : string;
+      path : string;
+      ts : float;
+      dur_s : float;
+      depth : int;
+    }
+  | Count of {
+      name : string;
+      path : string;
+      ts : float;
+      incr : int;
+      total : int;
+    }
+  | Gauge of { name : string; path : string; ts : float; value : float }
+
+type sink = { emit : event -> unit; flush : unit -> unit }
+
+(* ---------- global state ---------- *)
+
+let clock = ref Unix.gettimeofday
+let set_clock f = clock := f
+let now () = !clock ()
+let enabled_flag = ref true
+let enabled () = !enabled_flag
+let set_enabled b = enabled_flag := b
+let sinks : sink list ref = ref []
+let set_sinks l = sinks := l
+let add_sink s = sinks := !sinks @ [ s ]
+let flush_sinks () = List.iter (fun s -> s.flush ()) !sinks
+let emit ev = List.iter (fun s -> s.emit ev) !sinks
+
+(* span stack; [cur_*] cache the innermost frame so the hot attribution
+   read in Blackbox is two dereferences *)
+type frame = { name : string; path : string; start : float; depth : int }
+
+let stack : frame list ref = ref []
+let cur_name = ref ""
+let cur_path = ref ""
+let current_span_name () = !cur_name
+let current_span_path () = !cur_path
+let span_depth () = List.length !stack
+
+(* ---------- aggregates ---------- *)
+
+type span_agg = { mutable seconds : float; mutable calls : int }
+
+let span_agg : (string, span_agg) Hashtbl.t = Hashtbl.create 64
+let span_order : string list ref = ref []
+let counter_name_total : (string, int ref) Hashtbl.t = Hashtbl.create 64
+let counter_order : string list ref = ref []
+
+let counter_span_total : (string * string, int ref) Hashtbl.t =
+  Hashtbl.create 64
+
+let counter_span_order : (string * string) list ref = ref []
+
+let reset_aggregates () =
+  Hashtbl.reset span_agg;
+  span_order := [];
+  Hashtbl.reset counter_name_total;
+  counter_order := [];
+  Hashtbl.reset counter_span_total;
+  counter_span_order := []
+
+let bump_int tbl order key n =
+  match Hashtbl.find_opt tbl key with
+  | Some r ->
+      r := !r + n;
+      !r
+  | None ->
+      Hashtbl.add tbl key (ref n);
+      order := key :: !order;
+      n
+
+let bump_span key dur =
+  match Hashtbl.find_opt span_agg key with
+  | Some a ->
+      a.seconds <- a.seconds +. dur;
+      a.calls <- a.calls + 1
+  | None ->
+      Hashtbl.add span_agg key { seconds = dur; calls = 1 };
+      span_order := key :: !span_order
+
+let tbl_get tbl key default = match Hashtbl.find_opt tbl key with
+  | Some r -> !r
+  | None -> default
+
+let span_seconds () =
+  List.rev_map (fun p -> (p, (Hashtbl.find span_agg p).seconds)) !span_order
+
+let span_calls () =
+  List.rev_map (fun p -> (p, (Hashtbl.find span_agg p).calls)) !span_order
+
+let counter_totals () =
+  List.rev_map (fun c -> (c, tbl_get counter_name_total c 0)) !counter_order
+
+let counter_total name = tbl_get counter_name_total name 0
+
+let counters_by_span () =
+  List.rev_map
+    (fun k -> (k, tbl_get counter_span_total k 0))
+    !counter_span_order
+
+(* ---------- recording ---------- *)
+
+let push name =
+  let path = if !cur_path = "" then name else !cur_path ^ "/" ^ name in
+  let fr = { name; path; start = now (); depth = List.length !stack } in
+  stack := fr :: !stack;
+  cur_name := name;
+  cur_path := path;
+  if !sinks <> [] then
+    emit (Span_begin { name; path; ts = fr.start; depth = fr.depth });
+  fr
+
+let pop fr =
+  let ts = now () in
+  let dur = ts -. fr.start in
+  (match !stack with
+  | f :: rest when f == fr -> stack := rest
+  | _ ->
+      (* unbalanced close (an exception skipped inner pops): drop
+         everything above [fr] as well *)
+      let rec unwind = function
+        | f :: rest when not (f == fr) -> unwind rest
+        | _ :: rest -> rest
+        | [] -> []
+      in
+      stack := unwind !stack);
+  (match !stack with
+  | [] ->
+      cur_name := "";
+      cur_path := ""
+  | f :: _ ->
+      cur_name := f.name;
+      cur_path := f.path);
+  bump_span fr.path dur;
+  if !sinks <> [] then
+    emit
+      (Span_end { name = fr.name; path = fr.path; ts; dur_s = dur; depth = fr.depth });
+  dur
+
+let timed_span ~name f =
+  if not !enabled_flag then begin
+    let t0 = now () in
+    let r = f () in
+    (r, now () -. t0)
+  end
+  else begin
+    let fr = push name in
+    let dur = ref 0.0 in
+    let r = Fun.protect ~finally:(fun () -> dur := pop fr) f in
+    (r, !dur)
+  end
+
+let span ~name f = if not !enabled_flag then f () else fst (timed_span ~name f)
+
+let count name n =
+  if !enabled_flag then begin
+    let path = !cur_path in
+    let total = bump_int counter_name_total counter_order name n in
+    ignore (bump_int counter_span_total counter_span_order (path, name) n);
+    if !sinks <> [] then
+      emit (Count { name; path; ts = now (); incr = n; total })
+  end
+
+let gauge name value =
+  if !enabled_flag && !sinks <> [] then
+    emit (Gauge { name; path = !cur_path; ts = now (); value })
+
+(* ---------- sinks ---------- *)
+
+let null_sink = { emit = (fun _ -> ()); flush = (fun () -> ()) }
+
+let jsonl write =
+  let line kvs =
+    write (Json.to_string (Json.Obj kvs));
+    write "\n"
+  in
+  let emit = function
+    | Span_begin { name; path; ts; depth } ->
+        line
+          [
+            ("ev", Json.String "span_begin");
+            ("name", Json.String name);
+            ("path", Json.String path);
+            ("ts", Json.Float ts);
+            ("depth", Json.Int depth);
+          ]
+    | Span_end { name; path; ts; dur_s; depth } ->
+        line
+          [
+            ("ev", Json.String "span_end");
+            ("name", Json.String name);
+            ("path", Json.String path);
+            ("ts", Json.Float ts);
+            ("dur_s", Json.Float dur_s);
+            ("depth", Json.Int depth);
+          ]
+    | Count { name; path; ts; incr; total } ->
+        line
+          [
+            ("ev", Json.String "count");
+            ("name", Json.String name);
+            ("path", Json.String path);
+            ("ts", Json.Float ts);
+            ("incr", Json.Int incr);
+            ("total", Json.Int total);
+          ]
+    | Gauge { name; path; ts; value } ->
+        line
+          [
+            ("ev", Json.String "gauge");
+            ("name", Json.String name);
+            ("path", Json.String path);
+            ("ts", Json.Float ts);
+            ("value", Json.Float value);
+          ]
+  in
+  { emit; flush = (fun () -> ()) }
+
+let chrome_trace write =
+  let started = ref false in
+  let closed = ref false in
+  let t0 = ref 0.0 in
+  let us ts = (ts -. !t0) *. 1e6 in
+  (* [t0] must be pinned before the event's [ts] field is rendered, so the
+     payload is built inside [record], after the first-event bookkeeping *)
+  let record ts mk_kvs =
+    if !closed then ()
+    else begin
+      if not !started then begin
+        t0 := ts;
+        write "[\n";
+        started := true
+      end
+      else write ",\n";
+      write (Json.to_string (Json.Obj (mk_kvs ())))
+    end
+  in
+  let common name ph ts =
+    [
+      ("name", Json.String name);
+      ("cat", Json.String "lr");
+      ("ph", Json.String ph);
+      ("ts", Json.Float (us ts));
+      ("pid", Json.Int 1);
+      ("tid", Json.Int 1);
+    ]
+  in
+  let emit = function
+    | Span_begin { name; ts; _ } -> record ts (fun () -> common name "B" ts)
+    | Span_end { name; ts; _ } -> record ts (fun () -> common name "E" ts)
+    | Count { name; ts; total; _ } ->
+        record ts (fun () ->
+            common name "C" ts
+            @ [ ("args", Json.Obj [ (name, Json.Int total) ]) ])
+    | Gauge { name; ts; value; _ } ->
+        record ts (fun () ->
+            common name "C" ts
+            @ [ ("args", Json.Obj [ (name, Json.Float value) ]) ])
+  in
+  let flush () =
+    if not !closed then begin
+      if not !started then write "[" else ();
+      write "\n]\n";
+      closed := true
+    end
+  in
+  { emit; flush }
+
+let stderr_summary () =
+  (* self-contained aggregation: survives a reset of the global tables *)
+  let times : (string, float ref) Hashtbl.t = Hashtbl.create 32 in
+  let calls : (string, int ref) Hashtbl.t = Hashtbl.create 32 in
+  let depths : (string, int) Hashtbl.t = Hashtbl.create 32 in
+  let sorder : string list ref = ref [] in
+  let counters : (string * string, int ref) Hashtbl.t = Hashtbl.create 32 in
+  let corder : (string * string) list ref = ref [] in
+  (* rows are registered at span {e begin} so parents list before their
+     children (completion order would print children first) *)
+  let register path depth =
+    if not (Hashtbl.mem times path) then begin
+      sorder := path :: !sorder;
+      Hashtbl.add times path (ref 0.0);
+      Hashtbl.add calls path (ref 0);
+      Hashtbl.add depths path depth
+    end
+  in
+  let emit = function
+    | Span_begin { path; depth; _ } -> register path depth
+    | Span_end { path; dur_s; depth; _ } ->
+        register path depth;
+        let t = Hashtbl.find times path and c = Hashtbl.find calls path in
+        t := !t +. dur_s;
+        incr c
+    | Count { name; path; incr = n; _ } -> (
+        let key = (path, name) in
+        match Hashtbl.find_opt counters key with
+        | Some r -> r := !r + n
+        | None ->
+            Hashtbl.add counters key (ref n);
+            corder := key :: !corder)
+    | Gauge _ -> ()
+  in
+  let flush () =
+    if !sorder <> [] || !corder <> [] then begin
+      Printf.eprintf "── instr summary ──────────────────────────────\n";
+      Printf.eprintf "%-40s %6s %10s\n" "span" "calls" "seconds";
+      List.iter
+        (fun path ->
+          let depth = try Hashtbl.find depths path with Not_found -> 0 in
+          let name =
+            match String.rindex_opt path '/' with
+            | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+            | None -> path
+          in
+          Printf.eprintf "%-40s %6d %10.3f\n"
+            (String.make (2 * depth) ' ' ^ name)
+            !(Hashtbl.find calls path)
+            !(Hashtbl.find times path))
+        (List.rev !sorder);
+      if !corder <> [] then begin
+        Printf.eprintf "%-40s %-16s %10s\n" "counter (by span)" "" "total";
+        List.iter
+          (fun ((path, name) as key) ->
+            Printf.eprintf "%-40s %-16s %10d\n"
+              (if path = "" then "(top level)" else path)
+              name
+              !(Hashtbl.find counters key))
+          (List.rev !corder)
+      end;
+      Printf.eprintf "───────────────────────────────────────────────\n%!"
+    end
+  in
+  { emit; flush }
+
+let to_file path mk =
+  let oc = open_out path in
+  let inner = mk (output_string oc) in
+  let closed = ref false in
+  {
+    emit = (fun e -> if not !closed then inner.emit e);
+    flush =
+      (fun () ->
+        if not !closed then begin
+          inner.flush ();
+          close_out oc;
+          closed := true
+        end);
+  }
+
+let jsonl_file path = to_file path jsonl
+let chrome_trace_file path = to_file path chrome_trace

@@ -1,0 +1,134 @@
+(** Telemetry for the learning pipeline: spans, counters, sinks.
+
+    The learner's five pipeline stages (grouping/templates → support
+    identification → FBDT construction → cover minimization → AIG
+    optimization) are wrapped in hierarchical {e spans}; libraries record
+    named {e counters} (black-box queries, FBDT nodes, cubes, BDD nodes,
+    AIG rewrite rounds) attributed to the innermost open span. Events
+    stream to pluggable {e sinks}: a JSONL log, a Chrome
+    [trace_event]-format exporter (loadable in [chrome://tracing] or
+    Perfetto), and a human-readable stderr summary. With no sinks
+    attached only the cheap in-memory aggregates are updated; with
+    {!set_enabled}[ false] every entry point is a no-op that performs no
+    allocation — the hot-path guard is a single flag test.
+
+    State is global (one process = one instrumented run): libraries can
+    record without threading a handle, exactly like a logger. Not
+    thread-safe; the learner is single-threaded. *)
+
+(** {1 Events and sinks} *)
+
+type event =
+  | Span_begin of { name : string; path : string; ts : float; depth : int }
+  | Span_end of {
+      name : string;
+      path : string;
+      ts : float;
+      dur_s : float;
+      depth : int;
+    }
+  | Count of {
+      name : string;
+      path : string;  (** innermost open span path; [""] at top level *)
+      ts : float;
+      incr : int;
+      total : int;  (** running total for [name] across all spans *)
+    }
+  | Gauge of { name : string; path : string; ts : float; value : float }
+
+type sink = { emit : event -> unit; flush : unit -> unit }
+(** [flush] is called by {!flush_sinks}; file-backed sinks close their
+    channel there and ignore later events. *)
+
+val null_sink : sink
+(** Discards everything (the default behaviour is an empty sink list;
+    this exists for explicit plumbing). *)
+
+val jsonl : (string -> unit) -> sink
+(** One JSON object per event, one event per line, written through the
+    given string consumer. Keys: [ev] ([span_begin]|[span_end]|[count]|
+    [gauge]), [name], [path], [ts], plus [dur_s]/[depth]/[incr]/[total]/
+    [value] per event kind. *)
+
+val chrome_trace : (string -> unit) -> sink
+(** Chrome [trace_event] JSON array: spans as [ph:"B"]/[ph:"E"] duration
+    events, counters and gauges as [ph:"C"] counter tracks. Timestamps
+    are microseconds relative to the first event. The closing bracket is
+    written on [flush]. *)
+
+val stderr_summary : unit -> sink
+(** Collects silently and prints an indented per-span time table and a
+    per-span counter table to stderr on [flush]. *)
+
+val jsonl_file : string -> sink
+val chrome_trace_file : string -> sink
+(** File-backed variants; the file is created immediately and closed on
+    [flush]. *)
+
+(** {1 Configuration} *)
+
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+(** Master switch, default [true]. When off, {!span} runs its thunk
+    directly and {!count}/{!gauge} return immediately without
+    allocating; sinks receive nothing. *)
+
+val set_sinks : sink list -> unit
+val add_sink : sink -> unit
+val flush_sinks : unit -> unit
+
+val set_clock : (unit -> float) -> unit
+(** Timestamp source in seconds, default [Unix.gettimeofday]. Tests
+    inject a deterministic clock here. *)
+
+val now : unit -> float
+
+(** {1 Recording} *)
+
+val span : name:string -> (unit -> 'a) -> 'a
+(** [span ~name f] runs [f] inside a span. Spans nest: the span's path
+    is its ancestors' names joined with ['/']. The span is closed (and
+    its duration aggregated) even if [f] raises. *)
+
+val timed_span : name:string -> (unit -> 'a) -> 'a * float
+(** Like {!span} but also returns the measured duration in seconds. The
+    duration is measured even when instrumentation is disabled (the
+    learner's per-phase report depends on it); only the event emission
+    and aggregation are conditional. *)
+
+val count : string -> int -> unit
+(** [count name n] adds [n] to counter [name], attributed to the
+    innermost open span. *)
+
+val gauge : string -> float -> unit
+(** Point-in-time measurement (e.g. AIG size after an optimization
+    round); forwarded to sinks, not aggregated. *)
+
+val current_span_name : unit -> string
+(** Innermost open span's name, [""] when none — the attribution key
+    used by [Blackbox] for per-phase query accounting. *)
+
+val current_span_path : unit -> string
+val span_depth : unit -> int
+
+(** {1 In-memory aggregates}
+
+    Always maintained while enabled, even with no sinks — this is what
+    makes per-phase reporting free of any I/O setup. *)
+
+val reset_aggregates : unit -> unit
+
+val span_seconds : unit -> (string * float) list
+(** Total seconds per span {e path}, in first-completion order. *)
+
+val span_calls : unit -> (string * int) list
+
+val counter_totals : unit -> (string * int) list
+(** Total per counter name (all spans), in first-seen order. *)
+
+val counter_total : string -> int
+(** [0] if never counted. *)
+
+val counters_by_span : unit -> ((string * string) * int) list
+(** [((span_path, counter_name), total)] pairs, in first-seen order. *)

@@ -1,0 +1,47 @@
+(** Minimal JSON values: printing and parsing.
+
+    The telemetry sinks ({!Instr}) and the CLI's machine-readable run
+    reports need to {e emit} JSON, and the test-suite needs to {e parse
+    it back} to check well-formedness — all without adding an external
+    dependency. This module is that closed loop: a small value type, a
+    strict printer, and a strict RFC-8259-subset parser.
+
+    Not supported (never produced by the emitters): surrogate-pair
+    escapes decode to U+FFFD; non-finite floats print as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering. Strings are escaped per RFC 8259;
+    NaN and infinities render as [null] (JSON has no spelling for them). *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+val of_string : string -> (t, string) result
+(** Strict parse of a complete JSON document (trailing whitespace
+    allowed). Numbers without [.], [e] or [E] that fit in [int] parse as
+    [Int], everything else as [Float]. The error string carries a
+    character offset. *)
+
+(** {2 Accessors} (total: [None] on shape mismatch) *)
+
+val member : string -> t -> t option
+(** [member k (Obj _)] — first binding of [k]. *)
+
+val get_string : t -> string option
+val get_int : t -> int option
+(** [Int] or integral [Float]. *)
+
+val get_float : t -> float option
+(** [Float] or [Int]. *)
+
+val get_bool : t -> bool option
+val get_list : t -> t list option
+val get_obj : t -> (string * t) list option

@@ -29,4 +29,5 @@ let () =
       ("dot", Test_dot.tests);
       ("refine", Test_refine.tests);
       ("analysis", Test_analysis.tests);
+      ("instr", Test_instr.tests);
     ]
