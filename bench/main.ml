@@ -22,6 +22,12 @@ module Config = Logic_regression.Config
 module Learner = Logic_regression.Learner
 module Instr = Lr_instr.Instr
 module Json = Lr_instr.Json
+module History = Lr_report.History
+module Heartbeat = Lr_report.Heartbeat
+
+(* set once by the driver from --seed / --time-budget, read everywhere *)
+let seed_base = ref 1
+let time_budget = ref None
 
 type scale = {
   support_rounds : int;
@@ -66,6 +72,7 @@ let ours_config preset scale seed =
     Config.seed;
     support_rounds = scale.support_rounds;
     max_tree_nodes = scale.max_tree_nodes;
+    time_budget_s = !time_budget;
   }
 
 let run_all_methods scale spec =
@@ -76,24 +83,27 @@ let run_all_methods scale spec =
       ~num_inputs:spec.Cases.num_inputs ~count:scale.eval_patterns
   in
   let m = measure_method scale spec golden patterns in
+  let s = !seed_base in
   let contest =
     m (fun box ->
-        (Learner.learn ~config:(ours_config Config.contest scale 1) box)
+        (Learner.learn ~config:(ours_config Config.contest scale s) box)
           .Learner.circuit)
   in
   let sop =
     m (fun box ->
         Baselines.sop_memorizer ~samples:scale.baseline_samples
-          ~rng:(Rng.create 2) box)
+          ~rng:(Rng.create (s + 1))
+          box)
   in
   let id3 =
     m (fun box ->
         Baselines.id3_tree ~samples:(2 * scale.baseline_samples)
-          ~rng:(Rng.create 3) box)
+          ~rng:(Rng.create (s + 2))
+          box)
   in
   let improved =
     m (fun box ->
-        (Learner.learn ~config:(ours_config Config.improved scale 4) box)
+        (Learner.learn ~config:(ours_config Config.improved scale (s + 3)) box)
           .Learner.circuit)
   in
   (contest, sop, id3, improved)
@@ -108,7 +118,7 @@ let pp_paper = function
 
 (* ---------------- Table II ---------------- *)
 
-let table2 scale =
+let table2 ?only scale =
   print_endline "=== Table II: comparison to the top-3 contest performers ===";
   print_endline
     "(per method: size, accuracy %, time s; 'paper' columns transcribe the publication)";
@@ -140,7 +150,10 @@ let table2 scale =
             if improved.accuracy >= 99.99 then incr diag_data_exact
         | Cases.ECO | Cases.NEQ -> ());
         (spec, contest, sop, id3, improved))
-      Cases.specs
+      (match only with
+      | None -> Cases.specs
+      | Some name ->
+          List.filter (fun s -> s.Cases.name = name) Cases.specs)
   in
   print_newline ();
   Printf.printf
@@ -433,6 +446,7 @@ let json_of_rows rows =
   Json.Obj
     [
       ("schema", Json.String "lr-bench-report/v1");
+      ("seed", Json.Int !seed_base);
       ( "rows",
         Json.List
           (List.map
@@ -468,22 +482,53 @@ let () =
   in
   let trace, args = extract "--trace" args in
   let json, args = extract "--json" args in
+  let seed, args = extract "--seed" args in
+  let only, args = extract "--only" args in
+  let history, args = extract "--history" args in
+  let heartbeat, args = extract "--heartbeat" args in
+  let budget_s, args = extract "--time-budget" args in
   let args =
     List.filter (fun a -> a <> "--quick" && a <> "--metrics") args
   in
+  let float_of key = function
+    | None -> None
+    | Some v -> (
+        match float_of_string_opt v with
+        | Some f -> Some f
+        | None ->
+            Printf.eprintf "bad %s value: %s\n" key v;
+            exit 1)
+  in
+  (match seed with
+  | Some v -> (
+      match int_of_string_opt v with
+      | Some s -> seed_base := s
+      | None ->
+          Printf.eprintf "bad --seed value: %s\n" v;
+          exit 1)
+  | None -> ());
+  time_budget := float_of "--time-budget" budget_s;
   Instr.set_sinks
-    ((match trace with Some f -> [ Instr.chrome_trace_file f ] | None -> [])
-    @ if metrics then [ Instr.stderr_summary () ] else []);
+    ((match trace with
+     | Some "-" -> [ Instr.chrome_trace print_string ]
+     | Some f -> [ Instr.chrome_trace_file f ]
+     | None -> [])
+    @ (if metrics then [ Instr.stderr_summary () ] else [])
+    @
+    match float_of "--heartbeat" heartbeat with
+    | Some interval_s ->
+        [ Heartbeat.sink ?budget_s:!time_budget ~interval_s () ]
+    | None -> []);
   let what = match args with [] -> "all" | w :: _ -> w in
   let rows = ref [] in
   (match what with
-  | "table2" -> rows := table2 scale
+  | "table2" -> rows := table2 ?only scale
   | "ablation" -> ablation scale
   | "extensions" -> extensions scale
   | "scaling" -> scaling scale
   | "micro" -> micro ()
   | "all" ->
-      rows := table2 scale;
+      rows := table2 ?only scale;
       ablation scale;
       extensions scale;
       scaling scale;
@@ -494,12 +539,19 @@ let () =
         other;
       exit 1);
   Instr.flush_sinks ();
-  match json with
+  let report = lazy (json_of_rows !rows) in
+  (match json with
+  | Some "-" -> print_endline (Json.to_string (Lazy.force report))
   | Some path ->
       let oc = open_out path in
-      output_string oc (Json.to_string (json_of_rows !rows));
+      output_string oc (Json.to_string (Lazy.force report));
       output_string oc "\n";
       close_out oc;
       Printf.printf "json report written to %s (%d table2 rows)\n" path
         (List.length !rows)
+  | None -> ());
+  match history with
+  | Some path ->
+      History.append path (Lazy.force report);
+      Printf.printf "bench report appended to history %s\n" path
   | None -> ()

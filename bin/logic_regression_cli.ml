@@ -14,6 +14,10 @@ module Learner = Logic_regression.Learner
 module Baselines = Lr_baselines.Baselines
 module Instr = Lr_instr.Instr
 module Json = Lr_instr.Json
+module Histogram = Lr_report.Histogram
+module Gcstat = Lr_report.Gcstat
+module History = Lr_report.History
+module Heartbeat = Lr_report.Heartbeat
 
 open Cmdliner
 
@@ -58,7 +62,8 @@ let trace_arg =
   let doc =
     "Write a Chrome trace_event JSON file of the run (open it in \
      chrome://tracing or Perfetto): one duration event per pipeline span, \
-     counter tracks for queries/nodes/cubes."
+     counter tracks for queries/nodes/cubes. Pass $(b,-) to write the \
+     trace to standard output."
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
@@ -69,10 +74,34 @@ let metrics_arg =
 let json_arg =
   let doc =
     "Write a machine-readable run report (schema lr-run-report/v1): \
-     per-output method/support/cubes, per-phase seconds and query counts, \
-     circuit size, accuracy."
+     per-output method/support/cubes, per-phase seconds, query counts and \
+     GC deltas, query-latency percentiles, circuit size, accuracy. Pass \
+     $(b,-) to write the report to standard output."
   in
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let history_arg =
+  let doc =
+    "Append the run report to this JSONL history file (one report per \
+     line; inspect with the lr_report tool)."
+  in
+  Arg.(value & opt (some string) None & info [ "history" ] ~docv:"FILE" ~doc)
+
+let heartbeat_arg =
+  let doc =
+    "Print a progress heartbeat (phase, elapsed, queries, budget left) to \
+     stderr every $(docv) seconds."
+  in
+  Arg.(value & opt (some float) None & info [ "heartbeat" ] ~docv:"SECS" ~doc)
+
+let time_budget_arg =
+  let doc =
+    "Wall-clock budget in seconds: the learner checks it between phases \
+     and between outputs and skips remaining work once exceeded (the run \
+     report carries budget_exceeded)."
+  in
+  Arg.(
+    value & opt (some float) None & info [ "time-budget" ] ~docv:"SECS" ~doc)
 
 (* fail before the (possibly long) run, with a clean message instead of
    an uncaught Sys_error at the end of it *)
@@ -83,14 +112,20 @@ let open_out_or_die ~flag path =
     exit 1
 
 (* attach the requested sinks; returns a finalizer *)
-let setup_sinks ~trace ~metrics =
+let setup_sinks ?heartbeat ?time_budget ~trace ~metrics () =
   let sinks =
     (match trace with
+    | Some "-" -> [ Instr.chrome_trace print_string ]
     | Some f ->
         close_out (open_out_or_die ~flag:"--trace" f);
         [ Instr.chrome_trace_file f ]
     | None -> [])
     @ (if metrics then [ Instr.stderr_summary () ] else [])
+    @
+    match heartbeat with
+    | Some interval_s ->
+        [ Heartbeat.sink ?budget_s:time_budget ~interval_s () ]
+    | None -> []
   in
   Instr.set_sinks sinks;
   fun () ->
@@ -117,7 +152,7 @@ let resolve_box ~budget name =
 
 (* ---------- learn ---------- *)
 
-let describe_matches m =
+let describe_matches oc m =
   List.iter
     (fun l ->
       let terms =
@@ -126,7 +161,7 @@ let describe_matches m =
              (fun (a, v) -> Printf.sprintf "%d*%s" a v.G.base)
              l.T.terms)
       in
-      Printf.printf "  linear:      %s = %s + %d\n" l.T.z.G.base terms
+      Printf.fprintf oc "  linear:      %s = %s + %d\n" l.T.z.G.base terms
         l.T.offset)
     m.T.linears;
   List.iter
@@ -136,7 +171,7 @@ let describe_matches m =
         | T.Vec v -> v.G.base
         | T.Const k -> string_of_int k
       in
-      Printf.printf "  comparator:  PO %d = (%s %s %s)%s\n" c.T.po
+      Printf.fprintf oc "  comparator:  PO %d = (%s %s %s)%s\n" c.T.po
         c.T.lhs.G.base
         (T.op_to_string c.T.cmp_op)
         rhs
@@ -145,9 +180,14 @@ let describe_matches m =
         | Some _ -> "   [hidden: via propagation cube]"))
     m.T.comparators
 
-let json_of_run ~case ~eval_patterns ~accuracy report =
+let json_of_run ~case ~seed ~time_budget ~eval_patterns ~accuracy report =
   let c = report.Learner.circuit in
   let stats = N.stats c in
+  let gc_fields name =
+    match List.assoc_opt name report.Learner.phase_gc with
+    | Some g -> ( match Gcstat.to_json g with Json.Obj l -> l | _ -> [])
+    | None -> []
+  in
   let phases =
     List.map
       (fun (name, seconds) ->
@@ -157,11 +197,12 @@ let json_of_run ~case ~eval_patterns ~accuracy report =
           | None -> 0
         in
         Json.Obj
-          [
-            ("name", Json.String name);
-            ("seconds", Json.Float seconds);
-            ("queries", Json.Int queries);
-          ])
+          ([
+             ("name", Json.String name);
+             ("seconds", Json.Float seconds);
+             ("queries", Json.Int queries);
+           ]
+          @ gc_fields name))
       report.Learner.phase_times
     @
     match List.assoc_opt "other" report.Learner.phase_queries with
@@ -196,6 +237,7 @@ let json_of_run ~case ~eval_patterns ~accuracy report =
     [
       ("schema", Json.String "lr-run-report/v1");
       ("case", Json.String case);
+      ("seed", Json.Int seed);
       ("inputs", Json.Int (N.num_inputs c));
       ("outputs", Json.Int (N.num_outputs c));
       ("size", Json.Int (N.size c));
@@ -206,13 +248,17 @@ let json_of_run ~case ~eval_patterns ~accuracy report =
       ( "accuracy",
         match accuracy with Some a -> Json.Float a | None -> Json.Null );
       ("eval_patterns", Json.Int eval_patterns);
+      ( "time_budget_s",
+        match time_budget with Some b -> Json.Float b | None -> Json.Null );
+      ("budget_exceeded", Json.Bool report.Learner.budget_exceeded);
+      ("query_latency", Histogram.summary_to_json report.Learner.query_latency);
       ("phases", Json.List phases);
       ("outputs_detail", Json.List outputs);
     ]
 
-let print_phase_breakdown report =
+let print_phase_breakdown oc report =
   let total_q = max 1 report.Learner.queries in
-  Printf.printf "per-phase:\n";
+  Printf.fprintf oc "per-phase:\n";
   List.iter
     (fun (name, seconds) ->
       let queries =
@@ -220,18 +266,18 @@ let print_phase_breakdown report =
         | Some q -> q
         | None -> 0
       in
-      Printf.printf "  %-12s %8.3f s %10d queries (%5.1f%%)\n" name seconds
+      Printf.fprintf oc "  %-12s %8.3f s %10d queries (%5.1f%%)\n" name seconds
         queries
         (100.0 *. float_of_int queries /. float_of_int total_q))
     report.Learner.phase_times;
   match List.assoc_opt "other" report.Learner.phase_queries with
   | Some q when q > 0 ->
-      Printf.printf "  %-12s %8s   %10d queries (%5.1f%%)\n" "other" "-" q
+      Printf.fprintf oc "  %-12s %8s   %10d queries (%5.1f%%)\n" "other" "-" q
         (100.0 *. float_of_int q /. float_of_int total_q)
   | _ -> ()
 
 let learn_run case preset seed budget eval_patterns support_rounds no_templates
-    no_grouping out trace metrics json =
+    no_grouping out trace metrics json history heartbeat time_budget =
   let config =
     {
       preset with
@@ -240,30 +286,43 @@ let learn_run case preset seed budget eval_patterns support_rounds no_templates
       use_grouping = preset.Config.use_grouping && not no_grouping;
       support_rounds =
         Option.value support_rounds ~default:preset.Config.support_rounds;
+      time_budget_s = time_budget;
     }
   in
   let box, golden = resolve_box ~budget case in
-  let json_oc = Option.map (open_out_or_die ~flag:"--json") json in
-  let finish_sinks = setup_sinks ~trace ~metrics in
+  let json_oc =
+    match json with
+    | Some "-" | None -> None
+    | Some path -> Some (open_out_or_die ~flag:"--json" path)
+  in
+  let finish_sinks =
+    setup_sinks ?heartbeat ?time_budget ~trace ~metrics ()
+  in
   let report = Learner.learn ~config box in
   finish_sinks ();
   let c = report.Learner.circuit in
-  Printf.printf "learned %s: %d PI, %d PO\n" case (N.num_inputs c)
+  (* when an artifact streams to stdout, the human summary moves to
+     stderr so the JSON stays parseable *)
+  let hout = if json = Some "-" || trace = Some "-" then stderr else stdout in
+  Printf.fprintf hout "learned %s: %d PI, %d PO\n" case (N.num_inputs c)
     (N.num_outputs c);
-  Printf.printf "  size:    %d two-input gates (+%d inverters), depth %d\n"
+  Printf.fprintf hout "  size:    %d two-input gates (+%d inverters), depth %d\n"
     (N.size c) (N.stats c).N.inverters (N.stats c).N.depth;
-  Printf.printf "  queries: %d\n" report.Learner.queries;
-  Printf.printf "  time:    %.2f s\n" report.Learner.elapsed_s;
-  print_phase_breakdown report;
+  Printf.fprintf hout "  queries: %d\n" report.Learner.queries;
+  Printf.fprintf hout "  time:    %.2f s\n" report.Learner.elapsed_s;
+  if report.Learner.budget_exceeded then
+    Printf.fprintf hout
+      "  NOTE: time budget exceeded, remaining work was skipped\n";
+  print_phase_breakdown hout report;
   (match report.Learner.matches with
   | Some m when m.T.linears <> [] || m.T.comparators <> [] ->
-      Printf.printf "templates matched:\n";
-      describe_matches m
+      Printf.fprintf hout "templates matched:\n";
+      describe_matches hout m
   | _ -> ());
-  Printf.printf "per-output methods:\n";
+  Printf.fprintf hout "per-output methods:\n";
   List.iter
     (fun r ->
-      Printf.printf "  %-12s %-20s support=%-3d cubes=%-5d%s%s\n"
+      Printf.fprintf hout "  %-12s %-20s support=%-3d cubes=%-5d%s%s\n"
         r.Learner.output_name
         (Learner.method_to_string r.Learner.method_used)
         r.Learner.support_size r.Learner.cubes
@@ -277,26 +336,35 @@ let learn_run case preset seed budget eval_patterns support_rounds no_templates
           Eval.accuracy ~count:eval_patterns ~rng:(Rng.create (seed + 7919))
             ~golden ~candidate:c ()
         in
-        Printf.printf "accuracy: %.4f%% on %d patterns\n" (100.0 *. acc)
+        Printf.fprintf hout "accuracy: %.4f%% on %d patterns\n" (100.0 *. acc)
           eval_patterns;
         Some (100.0 *. acc)
     | None -> None
   in
-  (match (json, json_oc) with
-  | Some path, Some oc ->
-      output_string oc
-        (Json.to_string (json_of_run ~case ~eval_patterns ~accuracy report));
-      output_string oc "\n";
-      close_out oc;
-      Printf.printf "json report written to %s\n" path
-  | _ -> ());
+  (if json <> None || history <> None then
+     let report_json =
+       json_of_run ~case ~seed ~time_budget ~eval_patterns ~accuracy report
+     in
+     (match (json, json_oc) with
+     | Some "-", _ -> print_endline (Json.to_string report_json)
+     | Some path, Some oc ->
+         output_string oc (Json.to_string report_json);
+         output_string oc "\n";
+         close_out oc;
+         Printf.fprintf hout "json report written to %s\n" path
+     | _ -> ());
+     match history with
+     | Some path ->
+         History.append path report_json;
+         Printf.fprintf hout "run appended to history %s\n" path
+     | None -> ());
   (match trace with
-  | Some path -> Printf.printf "trace written to %s\n" path
-  | None -> ());
+  | Some "-" | None -> ()
+  | Some path -> Printf.fprintf hout "trace written to %s\n" path);
   (match out with
   | Some path ->
       Io.write_file c path;
-      Printf.printf "written to %s\n" path
+      Printf.fprintf hout "written to %s\n" path
   | None -> ());
   0
 
@@ -307,7 +375,8 @@ let learn_cmd =
     Term.(
       const learn_run $ case_pos $ preset_arg $ seed_arg $ budget_arg
       $ eval_arg $ support_rounds_arg $ no_templates_arg $ no_grouping_arg
-      $ out_arg $ trace_arg $ metrics_arg $ json_arg)
+      $ out_arg $ trace_arg $ metrics_arg $ json_arg $ history_arg
+      $ heartbeat_arg $ time_budget_arg)
 
 (* ---------- baseline ---------- *)
 

@@ -1,0 +1,206 @@
+(* Run-history and regression-gate front end:
+
+     lr_report record  report.json --history runs.jsonl
+     lr_report compare old.json new.json
+     lr_report check   old.json new.json --max-gate-regress 5% \
+                       --min-accuracy 99.99
+
+   [record] appends a run/bench report to a JSONL history file;
+   [compare] prints a per-case delta table between two reports (or the
+   last two history entries); [check] additionally applies thresholds
+   and exits nonzero on a regression — the gate CI and perf PRs run
+   against a committed baseline. *)
+
+module Json = Lr_instr.Json
+module Compare = Lr_report.Compare
+module History = Lr_report.History
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let die fmt = Printf.ksprintf (fun m -> Printf.eprintf "error: %s\n" m; exit 2) fmt
+
+let load_report path =
+  let text =
+    try read_file path with Sys_error m -> die "cannot read %s: %s" path m
+  in
+  match Json.of_string (String.trim text) with
+  | Ok v -> v
+  | Error e -> die "%s: %s" path e
+
+let entries ?case ?method_ path =
+  match Compare.entries_of_report (load_report path) with
+  | Ok l -> Compare.filter ?case ?method_ l
+  | Error e -> die "%s: %s" path e
+
+(* ---------- shared args ---------- *)
+
+let history_arg =
+  let doc = "JSONL history file (see the record subcommand)." in
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "history" ] ~docv:"FILE" ~doc)
+
+let case_filter_arg =
+  let doc = "Only consider entries of this case." in
+  Arg.(value & opt (some string) None & info [ "case" ] ~docv:"CASE" ~doc)
+
+let method_filter_arg =
+  let doc =
+    "Only consider entries of this method (bench reports: contest, sop, \
+     id3, improved)."
+  in
+  Arg.(value & opt (some string) None & info [ "method" ] ~docv:"METHOD" ~doc)
+
+let old_pos =
+  let doc = "Baseline report (JSON file)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"OLD" ~doc)
+
+let new_pos =
+  let doc = "Candidate report (JSON file)." in
+  Arg.(required & pos 1 (some string) None & info [] ~docv:"NEW" ~doc)
+
+(* ---------- record ---------- *)
+
+let record_run report history =
+  let v = load_report report in
+  (match Option.bind (Json.member "schema" v) Json.get_string with
+  | Some ("lr-run-report/v1" | "lr-bench-report/v1") -> ()
+  | Some s -> die "%s: unknown report schema %s" report s
+  | None -> die "%s: missing schema field" report);
+  History.append history v;
+  Printf.printf "recorded %s into %s (%d entries)\n" report history
+    (History.entry_count history);
+  0
+
+let record_cmd =
+  let doc = "append a run/bench report to a JSONL history file" in
+  let report_pos =
+    let doc = "Report to record (JSON file)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"REPORT" ~doc)
+  in
+  Cmd.v (Cmd.info "record" ~doc) Term.(const record_run $ report_pos $ history_arg)
+
+(* ---------- compare ---------- *)
+
+let print_comparison deltas only_old only_new =
+  print_string (Compare.render_table deltas);
+  if only_old <> [] then
+    Printf.printf "only in OLD: %s\n" (String.concat " " only_old);
+  if only_new <> [] then
+    Printf.printf "only in NEW: %s\n" (String.concat " " only_new);
+  if deltas = [] then print_endline "no common entries to compare"
+
+let compare_run old_path new_path case method_ =
+  let deltas, only_old, only_new =
+    Compare.join (entries ?case ?method_ old_path) (entries ?case ?method_ new_path)
+  in
+  print_comparison deltas only_old only_new;
+  0
+
+let compare_cmd =
+  let doc = "print a per-case delta table between two reports" in
+  Cmd.v
+    (Cmd.info "compare" ~doc)
+    Term.(
+      const compare_run $ old_pos $ new_pos $ case_filter_arg
+      $ method_filter_arg)
+
+(* ---------- check ---------- *)
+
+let fraction_conv =
+  let parse s =
+    match Compare.parse_fraction s with
+    | Ok f -> Ok f
+    | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, fun ppf f -> Format.fprintf ppf "%g" f)
+
+let max_gate_arg =
+  let doc =
+    "Fail when any entry's gate count grows by more than this fraction \
+     (accepts 5% or 0.05)."
+  in
+  Arg.(
+    value
+    & opt (some fraction_conv) None
+    & info [ "max-gate-regress" ] ~docv:"FRAC" ~doc)
+
+let min_accuracy_arg =
+  let doc = "Fail when any entry's new accuracy is below this percentage." in
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "min-accuracy" ] ~docv:"PERCENT" ~doc)
+
+let max_time_arg =
+  let doc =
+    "Fail when any entry's time grows by more than this fraction (plus \
+     0.1s of jitter slack; accepts 50% or 0.5)."
+  in
+  Arg.(
+    value
+    & opt (some fraction_conv) None
+    & info [ "max-time-regress" ] ~docv:"FRAC" ~doc)
+
+let check_run old_path new_path case method_ max_gate min_acc max_time =
+  let deltas, only_old, only_new =
+    Compare.join (entries ?case ?method_ old_path) (entries ?case ?method_ new_path)
+  in
+  print_comparison deltas only_old only_new;
+  let thresholds =
+    {
+      Compare.max_gate_regress = max_gate;
+      min_accuracy = min_acc;
+      max_time_regress = max_time;
+    }
+  in
+  match Compare.violations thresholds deltas with
+  | [] ->
+      Printf.printf "check passed (%d entries compared)\n" (List.length deltas);
+      0
+  | vs ->
+      List.iter (fun v -> Printf.printf "REGRESSION: %s\n" v) vs;
+      Printf.printf "check failed: %d regression(s)\n" (List.length vs);
+      1
+
+let check_cmd =
+  let doc = "compare two reports and exit nonzero on a regression" in
+  Cmd.v
+    (Cmd.info "check" ~doc)
+    Term.(
+      const check_run $ old_pos $ new_pos $ case_filter_arg
+      $ method_filter_arg $ max_gate_arg $ min_accuracy_arg $ max_time_arg)
+
+(* ---------- log ---------- *)
+
+let log_run history =
+  match History.load history with
+  | Error e -> die "%s" e
+  | Ok records ->
+      List.iteri
+        (fun i v ->
+          let s k =
+            match Option.bind (Json.member k v) Json.get_string with
+            | Some x -> x
+            | None -> "-"
+          in
+          Printf.printf "%4d  %-20s %s\n" i (s "schema") (s "case"))
+        records;
+      0
+
+let log_cmd =
+  let doc = "list the entries of a history file" in
+  Cmd.v (Cmd.info "log" ~doc) Term.(const log_run $ history_arg)
+
+let main =
+  let doc = "run-history store and bench regression gate" in
+  Cmd.group (Cmd.info "lr_report" ~doc) [ record_cmd; compare_cmd; check_cmd; log_cmd ]
+
+let () = exit (Cmd.eval' main)

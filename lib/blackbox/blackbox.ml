@@ -1,6 +1,7 @@
 module Bv = Lr_bitvec.Bv
 module N = Lr_netlist.Netlist
 module Instr = Lr_instr.Instr
+module Histogram = Lr_report.Histogram
 
 type provider =
   | Circuit of N.t
@@ -16,6 +17,7 @@ type t = {
   mutable started_at : float;
   by_span : (string, int ref) Hashtbl.t;
   mutable span_order : string list;  (** first-seen attribution keys *)
+  latency : Histogram.t;  (** per-query latency, batch-mean attributed *)
 }
 
 let make ?budget ?deadline_s provider ~input_names ~output_names =
@@ -29,6 +31,7 @@ let make ?budget ?deadline_s provider ~input_names ~output_names =
     started_at = Unix.gettimeofday ();
     by_span = Hashtbl.create 16;
     span_order = [];
+    latency = Histogram.create ();
   }
 
 let of_netlist ?budget ?deadline_s c =
@@ -59,22 +62,37 @@ let attribute t n =
       t.span_order <- key :: t.span_order);
   Instr.count "queries" n
 
+(* The clock is [Instr.now] so tests with an injected clock see
+   deterministic latencies; a batch charges its mean per-query latency
+   once per member, keeping the histogram's weight equal to the query
+   count while costing only two clock reads per call. *)
 let query t a =
   check_width t a;
   attribute t 1;
-  match t.provider with
-  | Circuit c -> N.eval c a
-  | Function f -> f a
+  let t0 = Instr.now () in
+  let r =
+    match t.provider with Circuit c -> N.eval c a | Function f -> f a
+  in
+  Histogram.add t.latency (Instr.now () -. t0);
+  r
 
 let query_many t patterns =
   Array.iter (check_width t) patterns;
-  attribute t (Array.length patterns);
-  match t.provider with
-  | Circuit c -> N.eval_many c patterns
-  | Function f -> Array.map f patterns
+  let n = Array.length patterns in
+  attribute t n;
+  let t0 = Instr.now () in
+  let r =
+    match t.provider with
+    | Circuit c -> N.eval_many c patterns
+    | Function f -> Array.map f patterns
+  in
+  if n > 0 then
+    Histogram.add_n t.latency ((Instr.now () -. t0) /. float_of_int n) n;
+  r
 
 let queries_used t = t.used
 let budget t = t.budget
+let query_latency t = t.latency
 
 let queries_by_span t =
   List.rev_map (fun k -> (k, !(Hashtbl.find t.by_span k))) t.span_order
@@ -89,6 +107,7 @@ let reset_accounting t =
   t.used <- 0;
   t.started_at <- Unix.gettimeofday ();
   Hashtbl.reset t.by_span;
-  t.span_order <- []
+  t.span_order <- [];
+  Histogram.clear t.latency
 
 let golden t = match t.provider with Circuit c -> Some c | Function _ -> None

@@ -41,6 +41,14 @@ val query_many : t -> Lr_bitvec.Bv.t array -> Lr_bitvec.Bv.t array
 val queries_used : t -> int
 val budget : t -> int option
 
+val query_latency : t -> Lr_report.Histogram.t
+(** Per-query latency histogram (seconds), timed with the
+    {!Lr_instr.Instr.now} clock so an injected test clock produces
+    deterministic samples. Single queries record their own duration; a
+    batched {!query_many} of [n] patterns records its mean per-query
+    latency [n] times, so the histogram's total weight equals
+    {!queries_used}. Cleared by {!reset_accounting}. *)
+
 val queries_by_span : t -> (string * int) list
 (** Per-phase query attribution: every query is charged to the
     instrumentation span ({!Lr_instr.Instr.span}) that was innermost when
@@ -57,10 +65,11 @@ val exhausted : t -> bool
     {!queries_used} is still under {!budget}. *)
 
 val reset_accounting : t -> unit
-(** Zero the query counter, restart the deadline clock, {e and} clear the
-    per-span attribution table ({!queries_by_span} becomes []) —
-    benchmarks call this between methods sharing one box, and stale
-    attribution would otherwise leak across runs. *)
+(** Zero the query counter, restart the deadline clock, {e and} clear
+    the per-span attribution table ({!queries_by_span} becomes []) and
+    the {!query_latency} histogram — benchmarks call this between
+    methods sharing one box, and stale attribution would otherwise leak
+    across runs. *)
 
 val golden : t -> Lr_netlist.Netlist.t option
 (** The wrapped circuit, if any. {b Evaluation-only}: learners must not call

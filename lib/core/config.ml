@@ -15,6 +15,7 @@ type t = {
   template_samples : int;
   template_prop_cubes : int;
   refine_rounds : int;
+  time_budget_s : float option;
 }
 
 let contest =
@@ -35,6 +36,7 @@ let contest =
     template_samples = 64;
     template_prop_cubes = 4;
     refine_rounds = 0;
+    time_budget_s = None;
   }
 
 let improved =
@@ -50,3 +52,4 @@ let improved =
 let default = improved
 
 let with_seed seed t = { t with seed }
+let with_time_budget time_budget_s t = { t with time_budget_s }

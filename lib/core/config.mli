@@ -26,6 +26,12 @@ type t = {
       (** extension: after an incomplete tree, validate on fresh samples
           and re-learn with a doubled node budget up to this many times
           (0 = paper behaviour) *)
+  time_budget_s : float option;
+      (** wall-clock budget (the contest's hard time limit): the learner
+          checks it between phases and between per-output iterations and
+          skips remaining work once exceeded, reporting
+          [budget_exceeded]; [None] (the presets' value) disables the
+          check *)
 }
 
 val contest : t
@@ -35,3 +41,4 @@ val default : t
 (** = {!improved}. *)
 
 val with_seed : int -> t -> t
+val with_time_budget : float option -> t -> t

@@ -14,6 +14,8 @@ module Bdd = Lr_bdd.Bdd
 module Aig = Lr_aig.Aig
 module Opt = Lr_aig.Opt
 module Instr = Lr_instr.Instr
+module Histogram = Lr_report.Histogram
+module Gcstat = Lr_report.Gcstat
 
 type method_used =
   | Linear_template
@@ -22,6 +24,7 @@ type method_used =
   | Shift_template
   | Exhaustive
   | Decision_tree
+  | Skipped_budget
 
 let method_to_string = function
   | Linear_template -> "linear-template"
@@ -30,6 +33,7 @@ let method_to_string = function
   | Shift_template -> "shift-template"
   | Exhaustive -> "exhaustive"
   | Decision_tree -> "decision-tree"
+  | Skipped_budget -> "skipped-budget"
 
 type output_report = {
   output : int;
@@ -50,6 +54,9 @@ type report = {
   matches : Lr_templates.Templates.matches option;
   phase_times : (string * float) list;
   phase_queries : (string * int) list;
+  phase_gc : (string * Lr_report.Gcstat.t) list;
+  query_latency : Lr_report.Histogram.summary;
+  budget_exceeded : bool;
 }
 
 (* The five pipeline phases of Figure 1, in execution order; span names in
@@ -194,19 +201,46 @@ let learn ?(config = Config.default) box =
   in
   let pi = Array.init ni (N.input circuit) in
   let vec_nodes v = Array.map (fun s -> pi.(s)) v.G.bits in
-  (* per-phase wall-clock accumulator: a phase span may run many times
-     (once per remaining output for fbdt/cover-min); the report sums them *)
+  (* per-phase wall-clock and GC accumulators: a phase span may run many
+     times (once per remaining output for fbdt/cover-min); the report
+     sums them. GC counters are sampled at the span boundaries
+     ([Gc.quick_stat], no heap walk) and the heap-size gauge is emitted
+     so traces show memory alongside time. *)
   let phase_time = Hashtbl.create 8 in
-  List.iter (fun n -> Hashtbl.replace phase_time n 0.0) phase_names;
+  let phase_gc = Hashtbl.create 8 in
+  List.iter
+    (fun n ->
+      Hashtbl.replace phase_time n 0.0;
+      Hashtbl.replace phase_gc n Gcstat.zero)
+    phase_names;
   let phase name f =
+    let g0 = Gcstat.sample () in
     let r, dt = Instr.timed_span ~name f in
+    let d = Gcstat.diff (Gcstat.sample ()) g0 in
     Hashtbl.replace phase_time name (Hashtbl.find phase_time name +. dt);
+    Hashtbl.replace phase_gc name (Gcstat.add (Hashtbl.find phase_gc name) d);
+    Instr.gauge "gc.heap_words" (float_of_int d.Gcstat.heap_words);
     r
+  in
+  (* contest-style wall-clock budget: checked between phases and between
+     per-output iterations (never mid-phase), so one check's worth of
+     work can still finish after the deadline but no new work starts *)
+  let budget_hit = ref false in
+  let over_budget () =
+    !budget_hit
+    ||
+    match config.Config.time_budget_s with
+    | Some b when Unix.gettimeofday () -. t0 >= b ->
+        budget_hit := true;
+        true
+    | _ -> false
   in
   Instr.span ~name:"learn" @@ fun () ->
   (* ---- steps 1 & 2: grouping + template matching ---- *)
   let matches =
-    phase "templates" (fun () ->
+    if over_budget () then None
+    else
+      phase "templates" (fun () ->
         if config.Config.use_grouping && config.Config.use_templates then
           Some
             (T.scan ~samples:config.Config.template_samples
@@ -330,16 +364,35 @@ let learn ?(config = Config.default) box =
   in
   (* ---- step 3: support identification, one pass for all outputs ---- *)
   let stats =
-    phase "support-id" (fun () ->
-        if remaining = [] then None
-        else
+    if remaining = [] || over_budget () then None
+    else
+      phase "support-id" (fun () ->
           Some
             (Ps.run ~rounds:config.Config.support_rounds ~rng:support_rng box
                ~constraint_:(Cube.top ni) ()))
   in
+  (* an output skipped because the wall-clock budget ran out still gets a
+     (constant) circuit — the report is the visible trace of the skip *)
+  let skip_output po =
+    N.set_output circuit po (N.const_false circuit);
+    reports :=
+      {
+        output = po;
+        output_name = out_names.(po);
+        method_used = Skipped_budget;
+        support_size = 0;
+        cubes = 0;
+        used_offset = false;
+        complete = false;
+        compressed = false;
+      }
+      :: !reports
+  in
   (* ---- step 4 per remaining output ---- *)
   List.iter
     (fun po ->
+      if over_budget () || stats = None then skip_output po
+      else
       Instr.span ~name:("po:" ^ out_names.(po)) @@ fun () ->
       let stats = Option.get stats in
       let raw_support = Ps.support stats ~output:po in
@@ -489,7 +542,9 @@ let learn ?(config = Config.default) box =
     remaining;
   (* ---- step 5: circuit optimization ---- *)
   let circuit =
-    phase "aig-opt" (fun () ->
+    if over_budget () then circuit
+    else
+      phase "aig-opt" (fun () ->
         if config.Config.optimize then begin
           let aig = Aig.of_netlist circuit in
           let aig =
@@ -528,6 +583,9 @@ let learn ?(config = Config.default) box =
     in
     known @ [ ("other", other) ]
   in
+  let phase_gc =
+    List.map (fun n -> (n, Hashtbl.find phase_gc n)) phase_names
+  in
   {
     circuit;
     outputs = List.sort (fun a b -> compare a.output b.output) !reports;
@@ -536,4 +594,7 @@ let learn ?(config = Config.default) box =
     matches;
     phase_times;
     phase_queries;
+    phase_gc;
+    query_latency = Histogram.summarize (Box.query_latency box);
+    budget_exceeded = !budget_hit;
   }

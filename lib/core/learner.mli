@@ -23,6 +23,9 @@ type method_used =
   | Shift_template  (** extension: [z = v >> k] / rotation *)
   | Exhaustive
   | Decision_tree
+  | Skipped_budget
+      (** the wall-clock budget ({!Config.t.time_budget_s}) ran out
+          before this output's turn: it was emitted as constant false *)
 
 val method_to_string : method_used -> string
 
@@ -52,6 +55,19 @@ type report = {
       (** black-box queries per phase ({!phase_names} order, plus a final
           ["other"] bucket for queries the caller issued outside the
           pipeline); the values always sum to [queries] *)
+  phase_gc : (string * Lr_report.Gcstat.t) list;
+      (** GC/memory deltas per pipeline phase ({!phase_names} order),
+          sampled with [Gc.quick_stat] at the phase span boundaries;
+          phases that ran more than once (per-output [fbdt]/[cover-min])
+          accumulate *)
+  query_latency : Lr_report.Histogram.summary;
+      (** per-query latency percentiles from the box's histogram
+          ({!Lr_blackbox.Blackbox.query_latency}) as it stood when
+          learning finished *)
+  budget_exceeded : bool;
+      (** the {!Config.t.time_budget_s} wall-clock budget ran out: some
+          phases or outputs were skipped (their [method_used] is
+          {!Skipped_budget}) *)
 }
 
 val phase_names : string list

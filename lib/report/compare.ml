@@ -1,0 +1,187 @@
+module Json = Lr_instr.Json
+
+type entry = {
+  key : string;
+  size : int;
+  accuracy : float option;
+  time_s : float;
+}
+
+let bench_methods = [ "contest"; "sop"; "id3"; "improved" ]
+
+let measurement_entry ~key v =
+  match
+    ( Option.bind (Json.member "size" v) Json.get_int,
+      Option.bind (Json.member "time_s" v) Json.get_float )
+  with
+  | Some size, Some time_s ->
+      let accuracy = Option.bind (Json.member "accuracy" v) Json.get_float in
+      Ok { key; size; accuracy; time_s }
+  | _ -> Error (key ^ ": missing size/time_s")
+
+let entries_of_bench v =
+  match Option.bind (Json.member "rows" v) Json.get_list with
+  | None -> Error "bench report: missing rows"
+  | Some rows ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | row :: rest -> (
+            match Option.bind (Json.member "case" row) Json.get_string with
+            | None -> Error "bench report: row without case"
+            | Some case -> (
+                let entries =
+                  List.filter_map
+                    (fun m ->
+                      Option.map
+                        (fun mv -> measurement_entry ~key:(case ^ "/" ^ m) mv)
+                        (Json.member m row))
+                    bench_methods
+                in
+                match
+                  List.find_opt (function Error _ -> true | Ok _ -> false)
+                    entries
+                with
+                | Some (Error e) -> Error e
+                | _ ->
+                    go
+                      (List.rev_append
+                         (List.filter_map Result.to_option entries)
+                         acc)
+                      rest))
+      in
+      go [] rows
+
+let entries_of_run v =
+  match
+    ( Option.bind (Json.member "case" v) Json.get_string,
+      Option.bind (Json.member "size" v) Json.get_int,
+      Option.bind (Json.member "elapsed_s" v) Json.get_float )
+  with
+  | Some case, Some size, Some time_s ->
+      let accuracy = Option.bind (Json.member "accuracy" v) Json.get_float in
+      Ok [ { key = case; size; accuracy; time_s } ]
+  | _ -> Error "run report: missing case/size/elapsed_s"
+
+let entries_of_report v =
+  match Option.bind (Json.member "schema" v) Json.get_string with
+  | Some "lr-run-report/v1" -> entries_of_run v
+  | Some "lr-bench-report/v1" -> entries_of_bench v
+  | Some s -> Error ("unknown report schema: " ^ s)
+  | None -> Error "not a report: missing schema field"
+
+let split_key key =
+  match String.index_opt key '/' with
+  | Some i ->
+      ( String.sub key 0 i,
+        Some (String.sub key (i + 1) (String.length key - i - 1)) )
+  | None -> (key, None)
+
+let filter ?case ?method_ entries =
+  List.filter
+    (fun e ->
+      let c, m = split_key e.key in
+      (match case with Some want -> c = want | None -> true)
+      && match method_ with Some want -> m = Some want | None -> true)
+    entries
+
+type delta = { key : string; old_e : entry; new_e : entry }
+
+let join (old_entries : entry list) (new_entries : entry list) =
+  let old_keys = List.map (fun (e : entry) -> e.key) old_entries in
+  let new_keys = List.map (fun (e : entry) -> e.key) new_entries in
+  let deltas =
+    List.filter_map
+      (fun (n : entry) ->
+        Option.map
+          (fun o -> { key = n.key; old_e = o; new_e = n })
+          (List.find_opt (fun (o : entry) -> o.key = n.key) old_entries))
+      new_entries
+  in
+  let only_old = List.filter (fun k -> not (List.mem k new_keys)) old_keys in
+  let only_new = List.filter (fun k -> not (List.mem k old_keys)) new_keys in
+  (deltas, only_old, only_new)
+
+type thresholds = {
+  max_gate_regress : float option;
+  min_accuracy : float option;
+  max_time_regress : float option;
+}
+
+let no_thresholds =
+  { max_gate_regress = None; min_accuracy = None; max_time_regress = None }
+
+let parse_fraction s =
+  let s = String.trim s in
+  let body, is_percent =
+    if String.length s > 0 && s.[String.length s - 1] = '%' then
+      (String.sub s 0 (String.length s - 1), true)
+    else (s, false)
+  in
+  match float_of_string_opt (String.trim body) with
+  | Some f when Float.is_finite f && f >= 0.0 ->
+      Ok (if is_percent then f /. 100.0 else f)
+  | Some _ | None -> Error (Printf.sprintf "bad threshold %S" s)
+
+(* fixed jitter slack on wall-clock comparisons: sub-second cases vary by
+   tens of milliseconds run to run, which a pure ratio would flag *)
+let time_slack_s = 0.1
+
+let violations t deltas =
+  List.concat_map
+    (fun d ->
+      let gate =
+        match t.max_gate_regress with
+        | Some frac
+          when float_of_int d.new_e.size
+               > (float_of_int d.old_e.size *. (1.0 +. frac)) +. 1e-9 ->
+            [
+              Printf.sprintf
+                "%s: gate count regressed %d -> %d (limit +%.1f%%)" d.key
+                d.old_e.size d.new_e.size (100.0 *. frac);
+            ]
+        | _ -> []
+      in
+      let acc =
+        match (t.min_accuracy, d.new_e.accuracy) with
+        | Some floor, Some a when a < floor -. 1e-9 ->
+            [
+              Printf.sprintf "%s: accuracy %.4f%% below floor %.4f%%" d.key a
+                floor;
+            ]
+        | _ -> []
+      in
+      let time =
+        match t.max_time_regress with
+        | Some frac
+          when d.new_e.time_s
+               > (d.old_e.time_s *. (1.0 +. frac)) +. time_slack_s ->
+            [
+              Printf.sprintf "%s: time regressed %.2fs -> %.2fs (limit +%.1f%%)"
+                d.key d.old_e.time_s d.new_e.time_s (100.0 *. frac);
+            ]
+        | _ -> []
+      in
+      gate @ acc @ time)
+    deltas
+
+let pp_acc = function Some a -> Printf.sprintf "%.3f" a | None -> "-"
+
+let render_table deltas =
+  if deltas = [] then ""
+  else begin
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf
+      (Printf.sprintf "%-24s %8s %8s %7s  %9s %9s  %8s %8s %8s\n" "key"
+         "size0" "size1" "dsize" "acc0" "acc1" "time0" "time1" "dtime");
+    List.iter
+      (fun d ->
+        Buffer.add_string buf
+          (Printf.sprintf "%-24s %8d %8d %+7d  %9s %9s  %8.2f %8.2f %+8.2f\n"
+             d.key d.old_e.size d.new_e.size
+             (d.new_e.size - d.old_e.size)
+             (pp_acc d.old_e.accuracy) (pp_acc d.new_e.accuracy)
+             d.old_e.time_s d.new_e.time_s
+             (d.new_e.time_s -. d.old_e.time_s)))
+      deltas;
+    Buffer.contents buf
+  end

@@ -1,0 +1,52 @@
+(** Diffing and gating report records.
+
+    Both report schemas flatten to a list of {!entry} rows keyed by
+    case (run reports) or [case/method] (bench reports); two reports
+    are joined on the key, rendered as a delta table, and optionally
+    gated by {!thresholds} — the regression check every perf PR runs
+    against a recorded baseline. *)
+
+type entry = {
+  key : string;  (** [case] or [case/method] *)
+  size : int;  (** 2-input gate count *)
+  accuracy : float option;  (** percent; [None] when unscored *)
+  time_s : float;
+}
+
+val entries_of_report : Lr_instr.Json.t -> (entry list, string) result
+(** Accepts [lr-run-report/v1] (one row) and [lr-bench-report/v1]
+    (one row per case x method). *)
+
+val filter : ?case:string -> ?method_:string -> entry list -> entry list
+(** [case] matches the part before ['/'], [method_] the part after
+    (entries without a method — run reports — survive only when no
+    [method_] filter is given). *)
+
+type delta = { key : string; old_e : entry; new_e : entry }
+
+val join : entry list -> entry list -> delta list * string list * string list
+(** [join old new] pairs entries by key (in [new]'s order) and also
+    returns the keys only present in the old / only in the new list. *)
+
+type thresholds = {
+  max_gate_regress : float option;
+      (** allowed fractional size growth, e.g. [0.05] for 5 % *)
+  min_accuracy : float option;  (** floor on the {e new} accuracy, percent *)
+  max_time_regress : float option;
+      (** allowed fractional time growth (plus a fixed 0.1 s of jitter
+          slack, so sub-second cases don't flap) *)
+}
+
+val no_thresholds : thresholds
+
+val parse_fraction : string -> (float, string) result
+(** ["5%"] -> [0.05]; a bare number is taken as the fraction itself
+    (["0.05"] -> [0.05]). *)
+
+val violations : thresholds -> delta list -> string list
+(** One human-readable line per violated threshold, empty when the new
+    report passes. *)
+
+val render_table : delta list -> string
+(** Fixed-width per-key delta table (size, accuracy, time), ending in a
+    newline; the empty string for an empty join. *)

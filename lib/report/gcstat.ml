@@ -1,0 +1,74 @@
+module Json = Lr_instr.Json
+
+type t = {
+  minor_words : float;
+  promoted_words : float;
+  major_words : float;
+  minor_collections : int;
+  major_collections : int;
+  compactions : int;
+  heap_words : int;
+  top_heap_words : int;
+}
+
+let zero =
+  {
+    minor_words = 0.0;
+    promoted_words = 0.0;
+    major_words = 0.0;
+    minor_collections = 0;
+    major_collections = 0;
+    compactions = 0;
+    heap_words = 0;
+    top_heap_words = 0;
+  }
+
+let sample () =
+  let s = Gc.quick_stat () in
+  {
+    minor_words = s.Gc.minor_words;
+    promoted_words = s.Gc.promoted_words;
+    major_words = s.Gc.major_words;
+    minor_collections = s.Gc.minor_collections;
+    major_collections = s.Gc.major_collections;
+    compactions = s.Gc.compactions;
+    heap_words = s.Gc.heap_words;
+    top_heap_words = s.Gc.top_heap_words;
+  }
+
+let diff a b =
+  {
+    minor_words = a.minor_words -. b.minor_words;
+    promoted_words = a.promoted_words -. b.promoted_words;
+    major_words = a.major_words -. b.major_words;
+    minor_collections = a.minor_collections - b.minor_collections;
+    major_collections = a.major_collections - b.major_collections;
+    compactions = a.compactions - b.compactions;
+    heap_words = a.heap_words;
+    top_heap_words = a.top_heap_words;
+  }
+
+let add a b =
+  {
+    minor_words = a.minor_words +. b.minor_words;
+    promoted_words = a.promoted_words +. b.promoted_words;
+    major_words = a.major_words +. b.major_words;
+    minor_collections = a.minor_collections + b.minor_collections;
+    major_collections = a.major_collections + b.major_collections;
+    compactions = a.compactions + b.compactions;
+    heap_words = max a.heap_words b.heap_words;
+    top_heap_words = max a.top_heap_words b.top_heap_words;
+  }
+
+let to_json t =
+  Json.Obj
+    [
+      ("gc_minor_words", Json.Float t.minor_words);
+      ("gc_promoted_words", Json.Float t.promoted_words);
+      ("gc_major_words", Json.Float t.major_words);
+      ("gc_minor_collections", Json.Int t.minor_collections);
+      ("gc_major_collections", Json.Int t.major_collections);
+      ("gc_compactions", Json.Int t.compactions);
+      ("gc_heap_words", Json.Int t.heap_words);
+      ("gc_top_heap_words", Json.Int t.top_heap_words);
+    ]

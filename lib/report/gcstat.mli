@@ -1,0 +1,35 @@
+(** GC/memory gauges for per-phase accounting.
+
+    A sample is a cheap [Gc.quick_stat] snapshot (no heap traversal);
+    phase costs are the {e difference} of the snapshots taken at the
+    phase's span boundaries, accumulated with {!add} when a phase runs
+    once per output. Allocation counters are deltas; [heap_words] /
+    [top_heap_words] are point-in-time sizes (a diff keeps the later
+    sample's value, an accumulation keeps the peak). *)
+
+type t = {
+  minor_words : float;  (** words allocated in the minor heap *)
+  promoted_words : float;
+  major_words : float;  (** words allocated in (or promoted to) the major heap *)
+  minor_collections : int;
+  major_collections : int;
+  compactions : int;
+  heap_words : int;  (** major heap size at sample/phase end *)
+  top_heap_words : int;
+}
+
+val zero : t
+
+val sample : unit -> t
+(** Snapshot of the process-lifetime GC counters ([Gc.quick_stat]). *)
+
+val diff : t -> t -> t
+(** [diff after before]: counter deltas; sizes from [after]. *)
+
+val add : t -> t -> t
+(** Sum of two deltas; sizes take the max (peak across phase runs). *)
+
+val to_json : t -> Lr_instr.Json.t
+(** Keys [gc_minor_words], [gc_promoted_words], [gc_major_words],
+    [gc_minor_collections], [gc_major_collections], [gc_compactions],
+    [gc_heap_words], [gc_top_heap_words]. *)

@@ -1,0 +1,49 @@
+module Instr = Lr_instr.Instr
+
+let sink ?(out = fun s -> prerr_string s; flush stderr) ?budget_s ~interval_s ()
+    =
+  let first = ref nan in
+  let last_print = ref nan in
+  let last_ts = ref nan in
+  let queries = ref 0 in
+  let stack = ref [] in
+  let line ts =
+    let elapsed = ts -. !first in
+    let phase = match !stack with [] -> "-" | p :: _ -> p in
+    let budget =
+      match budget_s with
+      | Some b ->
+          let left = Float.max 0.0 (b -. elapsed) in
+          let pct = if b > 0.0 then 100.0 *. left /. b else 0.0 in
+          Printf.sprintf " budget=%.2fs left=%.2fs (%.0f%% left)" b left pct
+      | None -> ""
+    in
+    out
+      (Printf.sprintf "[hb] %.2fs phase=%s queries=%d%s\n" elapsed phase
+         !queries budget)
+  in
+  let observe ts =
+    last_ts := ts;
+    if Float.is_nan !first then begin
+      first := ts;
+      last_print := ts
+    end
+    else if ts -. !last_print >= interval_s then begin
+      last_print := ts;
+      line ts
+    end
+  in
+  let emit = function
+    | Instr.Span_begin { name; ts; _ } ->
+        stack := name :: !stack;
+        observe ts
+    | Instr.Span_end { ts; _ } ->
+        (match !stack with _ :: rest -> stack := rest | [] -> ());
+        observe ts
+    | Instr.Count { name; ts; total; _ } ->
+        if name = "queries" then queries := total;
+        observe ts
+    | Instr.Gauge { ts; _ } -> observe ts
+  in
+  let flush () = if not (Float.is_nan !first) then line !last_ts in
+  { Instr.emit; flush }

@@ -1,0 +1,21 @@
+(** Live progress reporting: a telemetry sink that periodically prints
+    one status line — innermost phase, elapsed time (and remaining
+    budget when one is declared), black-box query count.
+
+    The heartbeat is event-driven: it piggybacks on the span/counter
+    events the pipeline already emits (every black-box query batch
+    produces one), comparing each event's timestamp against the last
+    print, so it costs nothing between events and needs no thread or
+    signal. Timestamps come from the events themselves, which makes the
+    output deterministic under {!Lr_instr.Instr.set_clock}. *)
+
+val sink :
+  ?out:(string -> unit) ->
+  ?budget_s:float ->
+  interval_s:float ->
+  unit ->
+  Lr_instr.Instr.sink
+(** [sink ~interval_s ()] prints to stderr (override with [out]) at
+    most once per [interval_s] seconds of event time, plus one final
+    line on flush. With [budget_s] the line also shows the remaining
+    wall-clock budget and percent consumed. *)

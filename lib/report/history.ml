@@ -1,0 +1,44 @@
+module Json = Lr_instr.Json
+
+let append path v =
+  let oc =
+    open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path
+  in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string v);
+      output_char oc '\n')
+
+let load path =
+  if not (Sys.file_exists path) then Error (path ^ ": no such file")
+  else begin
+    let ic = open_in path in
+    let lines = ref [] in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        try
+          while true do
+            lines := input_line ic :: !lines
+          done;
+          assert false
+        with End_of_file -> ());
+    let rec parse n acc = function
+      | [] -> Ok (List.rev acc)
+      | l :: rest when String.trim l = "" -> parse (n + 1) acc rest
+      | l :: rest -> (
+          match Json.of_string l with
+          | Ok v -> parse (n + 1) (v :: acc) rest
+          | Error e -> Error (Printf.sprintf "%s:%d: %s" path n e))
+    in
+    parse 1 [] (List.rev !lines)
+  end
+
+let last path =
+  match load path with
+  | Error _ as e -> e
+  | Ok [] -> Error (path ^ ": empty history")
+  | Ok l -> Ok (List.nth l (List.length l - 1))
+
+let entry_count path = match load path with Ok l -> List.length l | Error _ -> 0

@@ -62,6 +62,13 @@ let () =
          | Some s -> Float.is_finite s && s >= 0.0
          | None -> false)
        phases);
+  Printf.printf "all phase gc_major_words finite and >= 0: %b\n"
+    (List.for_all
+       (fun p ->
+         match Option.bind (Json.member "gc_major_words" p) Json.get_float with
+         | Some w -> Float.is_finite w && w >= 0.0
+         | None -> get_str p "name" = "other")
+       phases);
   let outputs_detail =
     match Option.bind (Json.member "outputs_detail" report) Json.get_list with
     | Some l -> l
@@ -69,6 +76,30 @@ let () =
   in
   Printf.printf "outputs_detail count == outputs: %b\n"
     (List.length outputs_detail = get_int report "outputs");
+
+  (* query-latency histogram summary *)
+  let latency =
+    match Json.member "query_latency" report with
+    | Some v -> v
+    | None -> Json.Null
+  in
+  let lat k = Option.bind (Json.member k latency) Json.get_float in
+  Printf.printf "query_latency count == queries: %b\n"
+    (get_int latency "count" = get_int report "queries"
+    && get_int latency "count" > 0);
+  Printf.printf "query_latency percentiles ordered: %b\n"
+    (match (lat "min", lat "p50", lat "p90", lat "p99", lat "max") with
+    | Some mn, Some p50, Some p90, Some p99, Some mx ->
+        0.0 <= mn && mn <= p50 && p50 <= p90 && p90 <= p99 && p99 <= mx
+    | _ -> false);
+
+  (* wall-clock budget bookkeeping (no --time-budget given) *)
+  Printf.printf "time_budget_s null: %b\n"
+    (Json.member "time_budget_s" report = Some Json.Null);
+  Printf.printf "budget_exceeded: %s\n"
+    (match Option.bind (Json.member "budget_exceeded" report) Json.get_bool with
+    | Some b -> string_of_bool b
+    | None -> "<missing>");
 
   (* trace: valid JSON array, balanced B/E, all pipeline phases present *)
   let trace = parse trace_path in

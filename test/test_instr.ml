@@ -309,6 +309,19 @@ let test_json_roundtrip () =
       | Ok _ -> Alcotest.fail ("accepted bad JSON: " ^ s)
       | Error _ -> ())
     [ "{"; "[1,]"; "nul"; "\"unterminated"; "1 2"; "{\"a\" 1}" ];
+  (* non-finite floats print as null (JSON has no nan/inf), and the
+     result still parses - so a report with an empty histogram summary
+     round-trips instead of producing invalid JSON *)
+  List.iter
+    (fun f ->
+      check_str "non-finite float prints null" "null"
+        (Json.to_string (Json.Float f));
+      match Json.of_string (Json.to_string (Json.Obj [ ("x", Json.Float f) ])) with
+      | Ok (Json.Obj [ ("x", Json.Null) ]) -> ()
+      | Ok other ->
+          Alcotest.fail ("non-finite round trip: " ^ Json.to_string other)
+      | Error e -> Alcotest.fail ("non-finite round trip: " ^ e))
+    [ Float.nan; Float.infinity; Float.neg_infinity ];
   (* unicode escape decodes to UTF-8 *)
   (match Json.of_string "\"\\u00e9\\u2713\"" with
   | Ok (Json.String s) -> check_str "utf8 escapes" "\xc3\xa9\xe2\x9c\x93" s

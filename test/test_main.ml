@@ -30,4 +30,5 @@ let () =
       ("refine", Test_refine.tests);
       ("analysis", Test_analysis.tests);
       ("instr", Test_instr.tests);
+      ("report", Test_report.tests);
     ]
