@@ -25,9 +25,11 @@ module Json = Lr_instr.Json
 module History = Lr_report.History
 module Heartbeat = Lr_report.Heartbeat
 
-(* set once by the driver from --seed / --time-budget, read everywhere *)
+(* set once by the driver from --seed / --time-budget / --check, read
+   everywhere *)
 let seed_base = ref 1
 let time_budget = ref None
+let check_level = ref Config.Off
 
 type scale = {
   support_rounds : int;
@@ -73,6 +75,7 @@ let ours_config preset scale seed =
     support_rounds = scale.support_rounds;
     max_tree_nodes = scale.max_tree_nodes;
     time_budget_s = !time_budget;
+    check_level = !check_level;
   }
 
 let run_all_methods scale spec =
@@ -487,6 +490,7 @@ let () =
   let history, args = extract "--history" args in
   let heartbeat, args = extract "--heartbeat" args in
   let budget_s, args = extract "--time-budget" args in
+  let check, args = extract "--check" args in
   let args =
     List.filter (fun a -> a <> "--quick" && a <> "--metrics") args
   in
@@ -508,6 +512,14 @@ let () =
           exit 1)
   | None -> ());
   time_budget := float_of "--time-budget" budget_s;
+  (match check with
+  | Some v -> (
+      match Config.check_level_of_string v with
+      | Some l -> check_level := l
+      | None ->
+          Printf.eprintf "bad --check value: %s (use off|structural|full)\n" v;
+          exit 1)
+  | None -> ());
   Instr.set_sinks
     ((match trace with
      | Some "-" -> [ Instr.chrome_trace print_string ]

@@ -18,6 +18,7 @@ module Histogram = Lr_report.Histogram
 module Gcstat = Lr_report.Gcstat
 module History = Lr_report.History
 module Heartbeat = Lr_report.Heartbeat
+module Finding = Lr_check.Finding
 
 open Cmdliner
 
@@ -93,6 +94,26 @@ let heartbeat_arg =
      stderr every $(docv) seconds."
   in
   Arg.(value & opt (some float) None & info [ "heartbeat" ] ~docv:"SECS" ~doc)
+
+let check_arg =
+  let doc =
+    "Self-check level: $(b,off) (nothing), $(b,structural) (lint the final \
+     circuit, fail on error findings), or $(b,full) (additionally prove \
+     every optimization step equivalent to its input — exhaustive \
+     re-simulation for conquered truth tables, SAT-backed CEC elsewhere; a \
+     failure aborts with the offending stage, output and counterexample)."
+  in
+  Arg.(
+    value
+    & opt
+        (Arg.enum
+           [
+             ("off", Config.Off);
+             ("structural", Config.Structural);
+             ("full", Config.Full);
+           ])
+        Config.Off
+    & info [ "check" ] ~docv:"LEVEL" ~doc)
 
 let time_budget_arg =
   let doc =
@@ -251,6 +272,11 @@ let json_of_run ~case ~seed ~time_budget ~eval_patterns ~accuracy report =
       ( "time_budget_s",
         match time_budget with Some b -> Json.Float b | None -> Json.Null );
       ("budget_exceeded", Json.Bool report.Learner.budget_exceeded);
+      ( "check_level",
+        Json.String (Config.check_level_string report.Learner.check_level) );
+      ("checks_verified", Json.Int report.Learner.checks_verified);
+      ( "lint_findings",
+        Json.List (List.map Finding.json report.Learner.lint_findings) );
       ("query_latency", Histogram.summary_to_json report.Learner.query_latency);
       ("phases", Json.List phases);
       ("outputs_detail", Json.List outputs);
@@ -277,7 +303,7 @@ let print_phase_breakdown oc report =
   | _ -> ()
 
 let learn_run case preset seed budget eval_patterns support_rounds no_templates
-    no_grouping out trace metrics json history heartbeat time_budget =
+    no_grouping out trace metrics json history heartbeat time_budget check =
   let config =
     {
       preset with
@@ -287,6 +313,7 @@ let learn_run case preset seed budget eval_patterns support_rounds no_templates
       support_rounds =
         Option.value support_rounds ~default:preset.Config.support_rounds;
       time_budget_s = time_budget;
+      check_level = check;
     }
   in
   let box, golden = resolve_box ~budget case in
@@ -298,7 +325,13 @@ let learn_run case preset seed budget eval_patterns support_rounds no_templates
   let finish_sinks =
     setup_sinks ?heartbeat ?time_budget ~trace ~metrics ()
   in
-  let report = Learner.learn ~config box in
+  let report =
+    try Learner.learn ~config box
+    with Lr_check.Selfcheck.Check_failed _ as e ->
+      finish_sinks ();
+      Printf.eprintf "error: %s\n" (Printexc.to_string e);
+      exit 2
+  in
   finish_sinks ();
   let c = report.Learner.circuit in
   (* when an artifact streams to stdout, the human summary moves to
@@ -329,6 +362,16 @@ let learn_run case preset seed budget eval_patterns support_rounds no_templates
         (if r.Learner.compressed then " [compressed]" else "")
         (if r.Learner.complete then "" else " [budget-truncated]"))
     report.Learner.outputs;
+  (match report.Learner.check_level with
+  | Config.Off -> ()
+  | lvl ->
+      Printf.fprintf hout "checks:  %s, %d verified, lint: %d warning(s)\n"
+        (Config.check_level_string lvl)
+        report.Learner.checks_verified
+        (Finding.count Finding.Warning report.Learner.lint_findings);
+      List.iter
+        (fun f -> Printf.fprintf hout "  %s\n" (Finding.to_string f))
+        report.Learner.lint_findings);
   let accuracy =
     match golden with
     | Some golden ->
@@ -376,7 +419,7 @@ let learn_cmd =
       const learn_run $ case_pos $ preset_arg $ seed_arg $ budget_arg
       $ eval_arg $ support_rounds_arg $ no_templates_arg $ no_grouping_arg
       $ out_arg $ trace_arg $ metrics_arg $ json_arg $ history_arg
-      $ heartbeat_arg $ time_budget_arg)
+      $ heartbeat_arg $ time_budget_arg $ check_arg)
 
 (* ---------- baseline ---------- *)
 

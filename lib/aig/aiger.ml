@@ -46,11 +46,19 @@ let read text =
       match String.split_on_char ' ' header with
       | "aag" :: _ -> (
           match ints_of (String.sub header 3 (String.length header - 3)) with
-          | [ _m; i; l; o; a ] ->
+          | [ m; i; l; o; a ] ->
               if l <> 0 then fail "Aiger.read: latches unsupported";
+              if m < i + a then
+                fail
+                  "Aiger.read: line 1: header bound %d below %d inputs + %d ANDs"
+                  m i a;
               let rest = Array.of_list rest in
+              (* body index k sits on source line k+2 (1-based, after the
+                 header) *)
+              let line k = k + 2 in
               let expect k =
-                if k >= Array.length rest then fail "Aiger.read: truncated";
+                if k >= Array.length rest then
+                  fail "Aiger.read: truncated at line %d" (line k);
                 rest.(k)
               in
               (* input literal lines are implied by our encoding, but we
@@ -58,13 +66,21 @@ let read text =
               for k = 0 to i - 1 do
                 match ints_of (expect k) with
                 | [ lit ] when lit = 2 * (k + 1) -> ()
-                | _ -> fail "Aiger.read: unexpected input literal on line %d" (k + 2)
+                | _ ->
+                    fail "Aiger.read: line %d: expected input literal %d"
+                      (line k)
+                      (2 * (k + 1))
               done;
               let outputs =
                 Array.init o (fun k ->
                     match ints_of (expect (i + k)) with
-                    | [ lit ] -> lit
-                    | _ -> fail "Aiger.read: malformed output line")
+                    | [ lit ] when lit >= 0 && lit / 2 <= m -> lit
+                    | [ lit ] ->
+                        fail "Aiger.read: line %d: output literal %d beyond bound %d"
+                          (line (i + k))
+                          lit m
+                    | _ -> fail "Aiger.read: line %d: malformed output line"
+                             (line (i + k)))
               in
               let aig = Aig.create ~num_inputs:i ~num_outputs:o in
               (* AND definitions must be in topological order (standard for
@@ -74,19 +90,37 @@ let read text =
               for v = 1 to i do
                 Hashtbl.replace map (2 * v) (Aig.input_lit aig (v - 1))
               done;
-              let resolve lit =
+              let resolve ln lit =
+                if lit < 0 || lit / 2 > m then
+                  fail "Aiger.read: line %d: literal %d beyond bound %d" ln lit m;
                 match Hashtbl.find_opt map (lit land lnot 1) with
                 | Some base -> base lxor (lit land 1)
-                | None -> fail "Aiger.read: undefined literal %d" lit
+                | None ->
+                    fail
+                      "Aiger.read: line %d: literal %d used before its definition"
+                      ln lit
               in
               for k = 0 to a - 1 do
+                let ln = line (i + o + k) in
                 match ints_of (expect (i + o + k)) with
                 | [ lhs; r0; r1 ] when lhs land 1 = 0 ->
-                    Hashtbl.replace map lhs
-                      (Aig.and_lit aig (resolve r0) (resolve r1))
-                | _ -> fail "Aiger.read: malformed AND line"
+                    if lhs <= 2 * i then
+                      fail
+                        "Aiger.read: line %d: AND literal %d collides with an input or constant"
+                        ln lhs;
+                    if lhs / 2 > m then
+                      fail "Aiger.read: line %d: AND literal %d beyond bound %d"
+                        ln lhs m;
+                    if Hashtbl.mem map lhs then
+                      fail "Aiger.read: line %d: literal %d defined twice" ln lhs;
+                    Hashtbl.add map lhs
+                      (Aig.and_lit aig (resolve ln r0) (resolve ln r1))
+                | _ -> fail "Aiger.read: line %d: malformed AND line" ln
               done;
-              Array.iteri (fun k lit -> Aig.set_output aig k (resolve lit)) outputs;
+              Array.iteri
+                (fun k lit ->
+                  Aig.set_output aig k (resolve (line (i + k)) lit))
+                outputs;
               aig
           | _ -> fail "Aiger.read: malformed header")
       | "aig" :: _ -> fail "Aiger.read: binary aig not supported, use aag"

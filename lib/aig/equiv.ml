@@ -39,6 +39,43 @@ let solve_lit aig lit =
       done;
       Some cex
 
+let sat_assignment = solve_lit
+
+(* 16 words = 1024 random patterns; a mismatch yields the witness pattern *)
+let sim_prefilter ~rng ~ni eval2 =
+  let rec go k =
+    if k = 0 then None
+    else begin
+      let words = Array.init ni (fun _ -> Rng.bits64 rng) in
+      let o1, o2 = eval2 words in
+      let diff = ref (-1) and bit = ref 0 in
+      Array.iteri
+        (fun o w ->
+          if !diff < 0 then begin
+            let d = Int64.logxor w o2.(o) in
+            if d <> 0L then begin
+              diff := o;
+              let rec find j =
+                if Int64.logand (Int64.shift_right_logical d j) 1L = 1L then j
+                else find (j + 1)
+              in
+              bit := find 0
+            end
+          end)
+        o1;
+      if !diff < 0 then go (k - 1)
+      else begin
+        let cex = Bv.create ni in
+        for i = 0 to ni - 1 do
+          Bv.set cex i
+            (Int64.logand (Int64.shift_right_logical words.(i) !bit) 1L = 1L)
+        done;
+        Some cex
+      end
+    end
+  in
+  go 16
+
 let check_outputs_equal aig a b =
   let miter = Aig.create ~num_inputs:(Aig.num_inputs aig) ~num_outputs:1 in
   (* rebuild the cone of both literals into the miter *)
@@ -62,39 +99,11 @@ let check ?(rng = Rng.create 0xCEC) c1 c2 =
     || N.num_outputs c1 <> N.num_outputs c2
   then invalid_arg "Equiv.check: interface mismatch";
   let ni = N.num_inputs c1 and no = N.num_outputs c1 in
-  (* cheap random refutation first: 16 words = 1024 patterns *)
-  let rec simulate k =
-    if k = 0 then None
-    else begin
-      let words = Array.init ni (fun _ -> Rng.bits64 rng) in
-      let o1 = N.eval_words c1 words and o2 = N.eval_words c2 words in
-      let diff = ref (-1) and bit = ref 0 in
-      Array.iteri
-        (fun o w ->
-          if !diff < 0 then begin
-            let d = Int64.logxor w o2.(o) in
-            if d <> 0L then begin
-              diff := o;
-              let rec find j =
-                if Int64.logand (Int64.shift_right_logical d j) 1L = 1L then j
-                else find (j + 1)
-              in
-              bit := find 0
-            end
-          end)
-        o1;
-      if !diff < 0 then simulate (k - 1)
-      else begin
-        let cex = Bv.create ni in
-        for i = 0 to ni - 1 do
-          Bv.set cex i
-            (Int64.logand (Int64.shift_right_logical words.(i) !bit) 1L = 1L)
-        done;
-        Some cex
-      end
-    end
-  in
-  match simulate 16 with
+  (* cheap random refutation first *)
+  match
+    sim_prefilter ~rng ~ni (fun words ->
+        (N.eval_words c1 words, N.eval_words c2 words))
+  with
   | Some cex -> Counterexample cex
   | None ->
       (* build one AIG holding both circuits on shared inputs and prove
@@ -119,6 +128,40 @@ let check ?(rng = Rng.create 0xCEC) c1 c2 =
       in
       let outs1 = import c1 and outs2 = import c2 in
       (* disjunction of all output differences *)
+      let diff = ref Aig.lit_false in
+      for o = 0 to no - 1 do
+        diff := Aig.or_lit miter !diff (Aig.xor_lit miter outs1.(o) outs2.(o))
+      done;
+      (match solve_lit miter !diff with
+      | None -> Equivalent
+      | Some cex -> Counterexample cex)
+
+let check_aig ?(rng = Rng.create 0xCEC) a1 a2 =
+  if
+    Aig.num_inputs a1 <> Aig.num_inputs a2
+    || Aig.num_outputs a1 <> Aig.num_outputs a2
+  then invalid_arg "Equiv.check_aig: interface mismatch";
+  let ni = Aig.num_inputs a1 and no = Aig.num_outputs a1 in
+  match
+    sim_prefilter ~rng ~ni (fun words ->
+        (Aig.simulate a1 words, Aig.simulate a2 words))
+  with
+  | Some cex -> Counterexample cex
+  | None ->
+      let miter = Aig.create ~num_inputs:ni ~num_outputs:1 in
+      let import aig =
+        let map = Array.make (Aig.num_nodes aig) Aig.lit_false in
+        for i = 0 to ni - 1 do
+          map.(1 + i) <- Aig.input_lit miter i
+        done;
+        let map_lit l = map.(Aig.lit_node l) lxor (l land 1) in
+        for node = ni + 1 to Aig.num_nodes aig - 1 do
+          let l0, l1 = Aig.fanins aig node in
+          map.(node) <- Aig.and_lit miter (map_lit l0) (map_lit l1)
+        done;
+        Array.init no (fun o -> map_lit (Aig.output aig o))
+      in
+      let outs1 = import a1 and outs2 = import a2 in
       let diff = ref Aig.lit_false in
       for o = 0 to no - 1 do
         diff := Aig.or_lit miter !diff (Aig.xor_lit miter outs1.(o) outs2.(o))

@@ -21,6 +21,17 @@ val check :
     Requires equal PI/PO counts (names are not compared). Complete: always
     returns a definite verdict, with SAT doing the heavy lifting. *)
 
+val check_aig : ?rng:Lr_bitvec.Rng.t -> Aig.t -> Aig.t -> verdict
+(** [check] for two AIGs directly — no netlist conversion. This is what the
+    checked pipeline ([Config.check_level = Full]) runs after every
+    optimization sub-pass. *)
+
 val check_outputs_equal : Aig.t -> Aig.lit -> Aig.lit -> verdict
 (** Decide whether two literals of one AIG are the same function — the
     primitive [check] reduces to, also used by fraig verification tests. *)
+
+val sat_assignment : Aig.t -> Aig.lit -> Lr_bitvec.Bv.t option
+(** A primary-input assignment making the literal true, or [None] when the
+    literal is unsatisfiable. The raw solver entry point behind the
+    verdicts above, exposed so [Lr_check] can build custom miters (e.g.
+    cover-vs-netlist) and still get a concrete counterexample back. *)

@@ -122,13 +122,20 @@ let rewrite aig =
   done;
   Aig.compact out
 
-let compress ?(max_rounds = 4) ?(fraig_words = 16) ~rng aig =
+let compress ?(max_rounds = 4) ?(fraig_words = 16) ?verify ~rng aig =
   let module Instr = Lr_instr.Instr in
+  let checked stage before after =
+    (match verify with Some f -> f ~stage before after | None -> ());
+    after
+  in
   let step a =
-    let a = Instr.span ~name:"aig.balance" (fun () -> balance a) in
-    let a = Instr.span ~name:"aig.rewrite" (fun () -> rewrite a) in
-    let a = Instr.span ~name:"aig.cut-rewrite" (fun () -> Rewrite.cut_rewrite a) in
-    Instr.span ~name:"aig.fraig" (fun () -> Fraig.sweep ~words:fraig_words ~rng a)
+    let pass name f x =
+      checked name x (Instr.span ~name (fun () -> f x))
+    in
+    let a = pass "aig.balance" balance a in
+    let a = pass "aig.rewrite" rewrite a in
+    let a = pass "aig.cut-rewrite" Rewrite.cut_rewrite a in
+    pass "aig.fraig" (Fraig.sweep ~words:fraig_words ~rng) a
   in
   let rec loop round best =
     if round >= max_rounds then best

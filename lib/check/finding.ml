@@ -1,0 +1,53 @@
+module Json = Lr_instr.Json
+
+type severity = Error | Warning | Info
+
+type t = {
+  severity : severity;
+  rule : string;
+  where : string;
+  message : string;
+  hint : string;
+}
+
+let make severity ~rule ~where ~hint message =
+  { severity; rule; where; message; hint }
+
+let severity_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let to_string f =
+  let loc = if f.where = "" then "" else f.where ^ ": " in
+  let fix = if f.hint = "" then "" else Printf.sprintf " (fix: %s)" f.hint in
+  Printf.sprintf "%s[%s] %s%s%s" (severity_string f.severity) f.rule loc
+    f.message fix
+
+let json f =
+  Json.Obj
+    [
+      ("severity", Json.String (severity_string f.severity));
+      ("rule", Json.String f.rule);
+      ("where", Json.String f.where);
+      ("message", Json.String f.message);
+      ("hint", Json.String f.hint);
+    ]
+
+let count sev l = List.length (List.filter (fun f -> f.severity = sev) l)
+let errors l = List.filter (fun f -> f.severity = Error) l
+
+let of_blif_diag (d : Lr_netlist.Blif.diag) =
+  let severity =
+    match d.severity with
+    | Lr_netlist.Blif.Error -> Error
+    | Lr_netlist.Blif.Warning -> Warning
+  in
+  let where =
+    match (d.line, d.signal) with
+    | 0, "" -> ""
+    | 0, s -> s
+    | n, "" -> Printf.sprintf "line %d" n
+    | n, s -> Printf.sprintf "line %d (%s)" n s
+  in
+  { severity; rule = "blif-source"; where; message = d.message; hint = d.hint }

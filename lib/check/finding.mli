@@ -1,0 +1,36 @@
+(** Lint findings: one defect or observation about a circuit.
+
+    The common currency of the {!Lint} pass, the BLIF/AIGER source
+    detectors and the [lr_lint] tool: every check produces a list of
+    findings, each carrying a severity, a stable rule id, a location
+    string, and a suggested fix. *)
+
+type severity = Error | Warning | Info
+
+type t = {
+  severity : severity;
+  rule : string;  (** stable kebab-case rule id, e.g. ["cycle"], ["dead-logic"] *)
+  where : string;  (** location: ["line 5"], ["node 12"], ["output f0"], or [""] *)
+  message : string;
+  hint : string;  (** suggested fix; may be [""] *)
+}
+
+val make : severity -> rule:string -> where:string -> hint:string -> string -> t
+
+val severity_string : severity -> string
+(** ["error"], ["warning"], ["info"]. *)
+
+val to_string : t -> string
+(** One human-readable line: [severity[rule] where: message (fix: hint)]. *)
+
+val json : t -> Lr_instr.Json.t
+(** Object with keys [severity], [rule], [where], [message], [hint]. *)
+
+val count : severity -> t list -> int
+
+val errors : t list -> t list
+(** Findings with severity {!Error}. *)
+
+val of_blif_diag : Lr_netlist.Blif.diag -> t
+(** Adapt a BLIF source diagnostic: [rule] is ["blif-source"], [where]
+    the 1-based source line (and offending signal, when known). *)

@@ -1,0 +1,208 @@
+module N = Lr_netlist.Netlist
+module Aig = Lr_aig.Aig
+module Json = Lr_instr.Json
+module F = Finding
+
+let sprintf = Printf.sprintf
+
+(* Commutation-aware structural key: And2(a,b) and And2(b,a) collide. *)
+let gate_key g =
+  match g with
+  | N.Const b -> (0, Bool.to_int b, 0)
+  | N.Input i -> (1, i, 0)
+  | N.Not a -> (2, a, 0)
+  | N.And2 (a, b) -> (3, min a b, max a b)
+  | N.Or2 (a, b) -> (4, min a b, max a b)
+  | N.Xor2 (a, b) -> (5, min a b, max a b)
+  | N.Nand2 (a, b) -> (6, min a b, max a b)
+  | N.Nor2 (a, b) -> (7, min a b, max a b)
+  | N.Xnor2 (a, b) -> (8, min a b, max a b)
+
+let netlist c =
+  let findings = ref [] in
+  let add f = findings := f :: !findings in
+  let n = N.num_nodes c in
+  (* node order is topological by construction; a violation means the
+     structure arrived by some route that could hide a cycle *)
+  let ordered = ref true in
+  for node = 0 to n - 1 do
+    List.iter (fun a -> if a >= node then ordered := false) (N.fanins (N.gate c node))
+  done;
+  if not !ordered then
+    add
+      (F.make F.Error ~rule:"cycle" ~where:""
+         ~hint:"rebuild the netlist through Netlist.Builder in dependency order"
+         "node order is not topological: some gate reads a node defined after it");
+  let reach = N.reachable c in
+  let dead = ref 0 in
+  for node = 0 to n - 1 do
+    if not reach.(node) then
+      match N.gate c node with N.Const _ | N.Input _ -> () | _ -> incr dead
+  done;
+  if !dead > 0 then
+    add
+      (F.make F.Warning ~rule:"dead-logic" ~where:""
+         ~hint:"writers skip dead logic, but it still costs memory and eval time"
+         (sprintf "%d gate(s) unreachable from any primary output" !dead));
+  let seen = Hashtbl.create 256 in
+  for node = 0 to n - 1 do
+    if reach.(node) then begin
+      let g = N.gate c node in
+      (match g with
+      | N.Not a -> (
+          match N.gate c a with
+          | N.Not _ ->
+              add
+                (F.make F.Warning ~rule:"double-inverter"
+                   ~where:(sprintf "node %d" node)
+                   ~hint:"collapse NOT(NOT x) to x"
+                   (sprintf "inverter over inverter node %d" a))
+          | _ -> ())
+      | _ -> ());
+      (match g with
+      | N.Const _ | N.Input _ | N.Not _ -> ()
+      | _ ->
+          if
+            List.exists
+              (fun a -> match N.gate c a with N.Const _ -> true | _ -> false)
+              (N.fanins g)
+          then
+            add
+              (F.make F.Warning ~rule:"constant-foldable"
+                 ~where:(sprintf "node %d" node)
+                 ~hint:"fold the constant operand away"
+                 "2-input gate with a constant operand"));
+      match g with
+      | N.Const _ | N.Input _ -> ()
+      | _ -> (
+          let key = gate_key g in
+          match Hashtbl.find_opt seen key with
+          | Some first ->
+              add
+                (F.make F.Warning ~rule:"duplicate-gate"
+                   ~where:(sprintf "node %d" node)
+                   ~hint:"share one gate (structural hashing)"
+                   (sprintf "structurally identical to node %d" first))
+          | None -> Hashtbl.add seen key node)
+    end
+  done;
+  for o = 0 to N.num_outputs c - 1 do
+    match N.gate c (N.output c o) with
+    | N.Const b ->
+        add
+          (F.make F.Info ~rule:"constant-output"
+             ~where:(sprintf "output %s" (N.output_names c).(o))
+             ~hint:""
+             (sprintf "output is the constant %s" (if b then "1" else "0")))
+    | _ -> ()
+  done;
+  List.rev !findings
+
+let aig a =
+  let findings = ref [] in
+  let add f = findings := f :: !findings in
+  let nn = Aig.num_nodes a in
+  let ordered = ref true in
+  for node = Aig.num_inputs a + 1 to nn - 1 do
+    let l0, l1 = Aig.fanins a node in
+    if Aig.lit_node l0 >= node || Aig.lit_node l1 >= node then ordered := false
+  done;
+  if not !ordered then
+    add
+      (F.make F.Error ~rule:"cycle" ~where:""
+         ~hint:"AND definitions must precede their uses"
+         "node order is not topological: some AND reads a node defined after it");
+  let reach = Array.make (max nn 1) false in
+  let rec visit node =
+    if not reach.(node) then begin
+      reach.(node) <- true;
+      if Aig.is_and a node then begin
+        let l0, l1 = Aig.fanins a node in
+        visit (Aig.lit_node l0);
+        visit (Aig.lit_node l1)
+      end
+    end
+  in
+  for o = 0 to Aig.num_outputs a - 1 do
+    visit (Aig.lit_node (Aig.output a o))
+  done;
+  let dead = ref 0 in
+  for node = Aig.num_inputs a + 1 to nn - 1 do
+    if not reach.(node) then incr dead
+  done;
+  if !dead > 0 then
+    add
+      (F.make F.Warning ~rule:"dead-logic" ~where:""
+         ~hint:"run Aig.compact"
+         (sprintf "%d AND node(s) unreachable from any output" !dead));
+  for o = 0 to Aig.num_outputs a - 1 do
+    if Aig.lit_node (Aig.output a o) = 0 then
+      add
+        (F.make F.Info ~rule:"constant-output" ~where:(sprintf "output %d" o)
+           ~hint:""
+           (sprintf "output is the constant %s"
+              (if Aig.lit_phase (Aig.output a o) then "1" else "0")))
+  done;
+  List.rev !findings
+
+let blif_source text =
+  List.map Finding.of_blif_diag (Lr_netlist.Blif.lint text)
+
+type cone = {
+  output : int;
+  name : string;
+  gates : int;
+  inverters : int;
+  depth : int;
+  support : int;
+  max_fanout : int;
+}
+
+let cones c =
+  let n = N.num_nodes c in
+  let depth = Array.make (max n 1) 0 in
+  for node = 0 to n - 1 do
+    depth.(node) <-
+      (match N.gate c node with
+      | N.Const _ | N.Input _ -> 0
+      | N.Not a -> depth.(a)
+      | g ->
+          1 + List.fold_left (fun acc a -> max acc depth.(a)) 0 (N.fanins g))
+  done;
+  let fanout = N.fanout_counts c in
+  List.init (N.num_outputs c) (fun o ->
+      let root = N.output c o in
+      let in_cone = N.reachable_from c [ root ] in
+      let gates = ref 0 and inverters = ref 0 and support = ref 0 in
+      let max_fanout = ref 0 in
+      for node = 0 to n - 1 do
+        if in_cone.(node) then begin
+          max_fanout := max !max_fanout fanout.(node);
+          match N.gate c node with
+          | N.Const _ -> ()
+          | N.Input _ -> incr support
+          | N.Not _ -> incr inverters
+          | _ -> incr gates
+        end
+      done;
+      {
+        output = o;
+        name = (N.output_names c).(o);
+        gates = !gates;
+        inverters = !inverters;
+        depth = depth.(root);
+        support = !support;
+        max_fanout = !max_fanout;
+      })
+
+let cone_json k =
+  Json.Obj
+    [
+      ("output", Json.Int k.output);
+      ("name", Json.String k.name);
+      ("gates", Json.Int k.gates);
+      ("inverters", Json.Int k.inverters);
+      ("depth", Json.Int k.depth);
+      ("support", Json.Int k.support);
+      ("max_fanout", Json.Int k.max_fanout);
+    ]

@@ -1,0 +1,47 @@
+(** Structural lint of circuits.
+
+    Pure inspections — no SAT, no simulation — that flag defects a
+    well-formed learned circuit should never exhibit: dead logic, double
+    inversions, constant-foldable gates, structural duplicates, broken
+    topological order (a combinational cycle smuggled past the builder),
+    constant outputs. The {!Netlist.Builder} strashes and folds, so on
+    builder-made circuits these fire only when something upstream went
+    wrong; on parsed third-party files they are genuine file quality
+    diagnostics.
+
+    [lr_lint] prints these; [Config.check_level >= Structural] runs
+    {!netlist} on the final learned circuit and fails the run on any
+    {!Finding.Error}. *)
+
+val netlist : Lr_netlist.Netlist.t -> Finding.t list
+(** Rules: [cycle] (topological-order violation, Error), [dead-logic]
+    (unreachable gates, Warning), [double-inverter], [constant-foldable],
+    [duplicate-gate] (commutation-aware, Warning each), and
+    [constant-output] (Info). *)
+
+val aig : Lr_aig.Aig.t -> Finding.t list
+(** Rules: [cycle] (Error), [dead-logic] (Warning — fix with
+    [Aig.compact]), [constant-output] (Info). *)
+
+val blif_source : string -> Finding.t list
+(** {!Lr_netlist.Blif.lint} adapted to findings — every problem in the
+    file, not just the first error [Blif.read] would raise. *)
+
+(** {2 Per-output cone statistics}
+
+    Not defects, but the numbers a reviewer wants next to them. *)
+
+type cone = {
+  output : int;
+  name : string;
+  gates : int;  (** 2-input gates in the cone (the contest size metric) *)
+  inverters : int;
+  depth : int;  (** longest PI-to-output path counting 2-input gates *)
+  support : int;  (** primary inputs the cone reaches *)
+  max_fanout : int;  (** largest whole-network fanout of any cone node *)
+}
+
+val cones : Lr_netlist.Netlist.t -> cone list
+(** One entry per primary output, in output order. *)
+
+val cone_json : cone -> Lr_instr.Json.t

@@ -1,3 +1,16 @@
+type check_level = Off | Structural | Full
+
+let check_level_string = function
+  | Off -> "off"
+  | Structural -> "structural"
+  | Full -> "full"
+
+let check_level_of_string = function
+  | "off" -> Some Off
+  | "structural" -> Some Structural
+  | "full" -> Some Full
+  | _ -> None
+
 type t = {
   seed : int;
   use_grouping : bool;
@@ -16,6 +29,7 @@ type t = {
   template_prop_cubes : int;
   refine_rounds : int;
   time_budget_s : float option;
+  check_level : check_level;
 }
 
 let contest =
@@ -37,6 +51,7 @@ let contest =
     template_prop_cubes = 4;
     refine_rounds = 0;
     time_budget_s = None;
+    check_level = Off;
   }
 
 let improved =
@@ -53,3 +68,4 @@ let default = improved
 
 let with_seed seed t = { t with seed }
 let with_time_budget time_budget_s t = { t with time_budget_s }
+let with_check check_level t = { t with check_level }

@@ -5,6 +5,20 @@
     adds the post-contest refinements reported in the paper (early
     stopping, onset/offset choice, heavier optimization). *)
 
+(** How much the learner double-checks its own work ({!Lr_check}):
+    [Off] nothing (the presets' value); [Structural] lints the final
+    circuit and fails on error-severity findings; [Full] additionally
+    proves every function-preserving step — conquered truth tables,
+    minimized covers, each AIG optimization sub-pass — equivalent to its
+    input, raising [Lr_check.Selfcheck.Check_failed] with a concrete
+    counterexample on the first violation. *)
+type check_level = Off | Structural | Full
+
+val check_level_string : check_level -> string
+(** ["off"] / ["structural"] / ["full"] — the CLI spelling. *)
+
+val check_level_of_string : string -> check_level option
+
 type t = {
   seed : int;  (** master RNG seed; everything else derives from it *)
   use_grouping : bool;  (** step 1 of Figure 1 *)
@@ -32,6 +46,7 @@ type t = {
           skips remaining work once exceeded, reporting
           [budget_exceeded]; [None] (the presets' value) disables the
           check *)
+  check_level : check_level;
 }
 
 val contest : t
@@ -42,3 +57,4 @@ val default : t
 
 val with_seed : int -> t -> t
 val with_time_budget : float option -> t -> t
+val with_check : check_level -> t -> t

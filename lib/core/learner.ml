@@ -16,6 +16,9 @@ module Opt = Lr_aig.Opt
 module Instr = Lr_instr.Instr
 module Histogram = Lr_report.Histogram
 module Gcstat = Lr_report.Gcstat
+module Selfcheck = Lr_check.Selfcheck
+module Lint = Lr_check.Lint
+module Finding = Lr_check.Finding
 
 type method_used =
   | Linear_template
@@ -57,11 +60,20 @@ type report = {
   phase_gc : (string * Lr_report.Gcstat.t) list;
   query_latency : Lr_report.Histogram.summary;
   budget_exceeded : bool;
+  check_level : Config.check_level;
+  checks_verified : int;
+      (** semantic verifications that passed (0 unless [check_level = Full]) *)
+  lint_findings : Lr_check.Finding.t list;
+      (** structural lint of the final circuit ([] when [check_level = Off]) *)
 }
 
-(* The five pipeline phases of Figure 1, in execution order; span names in
-   traces and keys of [phase_times]/[phase_queries]. *)
-let phase_names = [ "templates"; "support-id"; "fbdt"; "cover-min"; "aig-opt" ]
+(* The five pipeline phases of Figure 1, in execution order, plus the
+   cross-cutting "check" accumulator of the checked mode; span names in
+   traces and keys of [phase_times]/[phase_queries]. Check spans nest
+   inside the phase they guard (e.g. inside "aig-opt" for per-pass CEC),
+   so the "check" row overlaps the others rather than adding to them. *)
+let phase_names =
+  [ "templates"; "support-id"; "fbdt"; "cover-min"; "aig-opt"; "check" ]
 
 (* representative (lhs, rhs) vector values realising the predicate value:
    [reps op] = ((x_false, y_false), (x_true, y_true)) *)
@@ -194,6 +206,12 @@ let learn ?(config = Config.default) box =
   let support_rng = Rng.split master_rng in
   let tree_rng = Rng.split master_rng in
   let opt_rng = Rng.split master_rng in
+  (* split unconditionally — the earlier streams stay identical whether or
+     not checking is on, so checked and unchecked runs learn the same
+     circuit *)
+  let check_rng = Rng.split master_rng in
+  let checks_verified = ref 0 in
+  let full_check = config.Config.check_level = Config.Full in
   let ni = Box.num_inputs box and no = Box.num_outputs box in
   let circuit =
     N.create ~input_names:(Box.input_names box)
@@ -481,7 +499,7 @@ let learn ?(config = Config.default) box =
                   | T.Const k -> B.compare_const circuit cmp.T.cmp_op lhs k)
               | None -> assert false)
       in
-      let node, cubes_built =
+      let node, cubes_built, check_cover =
         phase "cover-min" @@ fun () ->
         match result.Fbdt.table with
         | Some table ->
@@ -506,8 +524,9 @@ let learn ?(config = Config.default) box =
                      <= mux_cost ->
                   let n = B.sop circuit vars cover in
                   ( (if use_offset then N.not_ circuit n else n),
-                    Cover.num_cubes cover )
-              | Some _ | None -> (mux_tree_of_bdd circuit man vars f, 0)
+                    Cover.num_cubes cover,
+                    None )
+              | Some _ | None -> (mux_tree_of_bdd circuit man vars f, 0, None)
             in
             Bdd.record_counters man;
             built
@@ -523,10 +542,38 @@ let learn ?(config = Config.default) box =
             in
             let n = B.sop circuit vars cover in
             ( (if use_offset then N.not_ circuit n else n),
-              Cover.num_cubes cover )
+              Cover.num_cubes cover,
+              Some cover )
       in
       Instr.count "cover.cubes" cubes_built;
       N.set_output circuit po node;
+      (* checked mode: prove the synthesised cone against what the FBDT
+         phase actually learned, before optimization can blur the trail *)
+      if full_check then begin
+        match result.Fbdt.table with
+        | Some table ->
+            let support_arr = Array.of_list support in
+            phase "check" (fun () ->
+                Selfcheck.verify_table ~stage:"cover-min" ~circuit ~output:po
+                  ~bits:(Array.length support_arr)
+                  ~to_full:(fun m ->
+                    let va = Bv.create dom.arity in
+                    Array.iteri
+                      (fun j v -> Bv.set va v ((m lsr j) land 1 = 1))
+                      support_arr;
+                    to_full ni dom va)
+                  ~expected:(fun m -> table.(m)));
+            incr checks_verified
+        | None -> (
+            match check_cover with
+            | Some cover ->
+                phase "check" (fun () ->
+                    Selfcheck.verify_cover ~stage:"cover-min" ~rng:check_rng
+                      ~circuit ~output:po ~vars ~cover
+                      ~complemented:use_offset ());
+                incr checks_verified
+            | None -> ())
+      end;
       reports :=
         {
           output = po;
@@ -543,23 +590,65 @@ let learn ?(config = Config.default) box =
   (* ---- step 5: circuit optimization ---- *)
   let circuit =
     if over_budget () then circuit
+    else begin
+      (* checked mode: CEC after every optimization sub-pass, localising a
+         broken rewrite to the exact stage that introduced it *)
+      let verify_pass ~stage before after =
+        phase "check" (fun () ->
+            Selfcheck.verify_aigs ~stage ~rng:check_rng before after);
+        incr checks_verified
+      in
+      let optimized =
+        phase "aig-opt" (fun () ->
+          if config.Config.optimize then begin
+            let aig = Aig.of_netlist circuit in
+            let aig =
+              (* fraig's SAT sweeping is super-linear; on the enormous
+                 netlists a budget-truncated tree produces, restrict to the
+                 linear passes *)
+              if Aig.num_ands aig > 25_000 then begin
+                let balanced = Opt.balance aig in
+                if full_check then verify_pass ~stage:"aig.balance" aig balanced;
+                let rewritten = Opt.rewrite balanced in
+                if full_check then
+                  verify_pass ~stage:"aig.rewrite" balanced rewritten;
+                rewritten
+              end
+              else
+                Opt.compress ~max_rounds:config.Config.optimize_rounds
+                  ~fraig_words:config.Config.fraig_words
+                  ?verify:(if full_check then Some verify_pass else None)
+                  ~rng:opt_rng aig
+            in
+            Aig.to_netlist ~input_names:(Box.input_names box)
+              ~output_names:(Box.output_names box) aig
+          end
+          else circuit)
+      in
+      (* ... and once end-to-end, which also covers the netlist<->AIG
+         conversions the per-pass hook cannot see *)
+      if full_check && config.Config.optimize then begin
+        phase "check" (fun () ->
+            Selfcheck.verify_netlists ~stage:"aig-opt" ~rng:check_rng circuit
+              optimized);
+        incr checks_verified
+      end;
+      optimized
+    end
+  in
+  (* structural lint of the final circuit (Structural and Full) *)
+  let lint_findings =
+    if config.Config.check_level = Config.Off then []
     else
-      phase "aig-opt" (fun () ->
-        if config.Config.optimize then begin
-          let aig = Aig.of_netlist circuit in
-          let aig =
-            (* fraig's SAT sweeping is super-linear; on the enormous
-               netlists a budget-truncated tree produces, restrict to the
-               linear passes *)
-            if Aig.num_ands aig > 25_000 then Opt.rewrite (Opt.balance aig)
-            else
-              Opt.compress ~max_rounds:config.Config.optimize_rounds
-                ~fraig_words:config.Config.fraig_words ~rng:opt_rng aig
-          in
-          Aig.to_netlist ~input_names:(Box.input_names box)
-            ~output_names:(Box.output_names box) aig
-        end
-        else circuit)
+      phase "check" (fun () ->
+          let findings = Lint.netlist circuit in
+          (match Finding.errors findings with
+          | [] -> ()
+          | errs ->
+              failwith
+                ("structural lint failed: "
+                ^ String.concat "; " (List.map Finding.to_string errs)));
+          findings)
   in
   let phase_times =
     List.map (fun n -> (n, Hashtbl.find phase_time n)) phase_names
@@ -597,4 +686,7 @@ let learn ?(config = Config.default) box =
     phase_gc;
     query_latency = Histogram.summarize (Box.query_latency box);
     budget_exceeded = !budget_hit;
+    check_level = config.Config.check_level;
+    checks_verified = !checks_verified;
+    lint_findings;
   }

@@ -68,16 +68,34 @@ type report = {
       (** the {!Config.t.time_budget_s} wall-clock budget ran out: some
           phases or outputs were skipped (their [method_used] is
           {!Skipped_budget}) *)
+  check_level : Config.check_level;  (** the level this run was checked at *)
+  checks_verified : int;
+      (** semantic self-checks that passed — truth-table re-simulations,
+          cover CECs, per-pass and end-to-end optimization CECs; 0 unless
+          [check_level = Full] *)
+  lint_findings : Lr_check.Finding.t list;
+      (** structural lint of the final circuit ([] when
+          [check_level = Off]); never contains error-severity findings —
+          those abort the run *)
 }
 
 val phase_names : string list
 (** The five pipeline phases of Figure 1, in execution order:
     [templates] (steps 1–2), [support-id] (step 3), [fbdt] (step 4),
     [cover-min] (two-level minimization / BDD collapse), [aig-opt]
-    (step 5). These are the span names emitted to traces and the keys of
-    [phase_times] / [phase_queries]. *)
+    (step 5) — plus the cross-cutting [check] accumulator of the checked
+    mode. These are the span names emitted to traces and the keys of
+    [phase_times] / [phase_queries]. [check] spans nest {e inside} the
+    phase they guard (per-pass CEC runs inside [aig-opt]), so the [check]
+    time overlaps the other rows rather than adding to them. *)
 
 val learn : ?config:Config.t -> Lr_blackbox.Blackbox.t -> report
 (** Learn a circuit for the black-box. The box's budget (if any) drives the
     anytime behaviour; the call always returns a complete circuit, with
-    budget-starved outputs approximated as in Algorithm 2. *)
+    budget-starved outputs approximated as in Algorithm 2.
+
+    With [config.check_level = Full] every function-preserving step is
+    verified against its input; a failure raises
+    {!Lr_check.Selfcheck.Check_failed} with the offending stage, output
+    and a counterexample. With [Structural] (or [Full]) the final circuit
+    is linted and error findings raise [Failure]. *)

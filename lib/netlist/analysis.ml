@@ -1,33 +1,15 @@
 module Bdd = Lr_bdd.Bdd
 
-let cone_nodes c ~output =
-  let seen = Hashtbl.create 64 in
-  let rec visit n =
-    if not (Hashtbl.mem seen n) then begin
-      Hashtbl.replace seen n ();
-      match Netlist.gate c n with
-      | Netlist.Const _ | Netlist.Input _ -> ()
-      | Netlist.Not a -> visit a
-      | Netlist.And2 (a, b)
-      | Netlist.Or2 (a, b)
-      | Netlist.Xor2 (a, b)
-      | Netlist.Nand2 (a, b)
-      | Netlist.Nor2 (a, b)
-      | Netlist.Xnor2 (a, b) ->
-          visit a;
-          visit b
-    end
-  in
-  visit (Netlist.output c output);
-  seen
-
 let structural_support c ~output =
-  let seen = cone_nodes c ~output in
-  Hashtbl.fold
-    (fun n () acc ->
-      match Netlist.gate c n with Netlist.Input i -> i :: acc | _ -> acc)
-    seen []
-  |> List.sort compare
+  let seen = Netlist.reachable_from c [ Netlist.output c output ] in
+  let acc = ref [] in
+  for n = Netlist.num_nodes c - 1 downto 0 do
+    if seen.(n) then
+      match Netlist.gate c n with
+      | Netlist.Input i -> acc := i :: !acc
+      | _ -> ()
+  done;
+  List.sort compare !acc
 
 let functional_support c ~output =
   let structural = structural_support c ~output in

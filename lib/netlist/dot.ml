@@ -10,22 +10,7 @@ let write ?(graph_name = "circuit") c =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "digraph %s {\n  rankdir=LR;\n" graph_name;
-  let reach = Array.make (N.num_nodes c) false in
-  let rec visit n =
-    if not reach.(n) then begin
-      reach.(n) <- true;
-      match N.gate c n with
-      | N.Const _ | N.Input _ -> ()
-      | N.Not a -> visit a
-      | N.And2 (a, b) | N.Or2 (a, b) | N.Xor2 (a, b) | N.Nand2 (a, b)
-      | N.Nor2 (a, b) | N.Xnor2 (a, b) ->
-          visit a;
-          visit b
-    end
-  in
-  for o = 0 to N.num_outputs c - 1 do
-    visit (N.output c o)
-  done;
+  let reach = N.reachable c in
   for n = 0 to N.num_nodes c - 1 do
     if reach.(n) then begin
       let node label shape =

@@ -186,16 +186,27 @@ let fanins = function
   | Xnor2 (a, b) ->
       [ a; b ]
 
-let reachable t =
+let reachable_from t roots =
   let seen = Array.make t.len false in
   let rec visit n =
+    if n < 0 || n >= t.len then invalid_arg "Netlist.reachable_from: bad node";
     if not seen.(n) then begin
       seen.(n) <- true;
       List.iter visit (fanins t.gates.(n))
     end
   in
-  Array.iter visit t.outputs;
+  List.iter visit roots;
   seen
+
+let reachable t = reachable_from t (Array.to_list t.outputs)
+
+let fanout_counts t =
+  let counts = Array.make t.len 0 in
+  for n = 0 to t.len - 1 do
+    List.iter (fun a -> counts.(a) <- counts.(a) + 1) (fanins t.gates.(n))
+  done;
+  Array.iter (fun o -> counts.(o) <- counts.(o) + 1) t.outputs;
+  counts
 
 let stats t =
   let seen = reachable t in

@@ -53,6 +53,26 @@ type gate =
 val gate : t -> node -> gate
 val num_nodes : t -> int
 
+val fanins : gate -> node list
+(** Operand nodes of a gate (empty for constants and inputs). *)
+
+(** {2 Cone traversal}
+
+    The one reachability walk shared by the format writers, the metrics,
+    {!Lr_netlist.Analysis} and the [Lr_check] lint pass — callers should
+    not keep private copies of this recursion. *)
+
+val reachable : t -> bool array
+(** [reachable t] indexed by node: in the cone of some primary output. *)
+
+val reachable_from : t -> node list -> bool array
+(** Same, from an arbitrary root set (e.g. one output's cone). *)
+
+val fanout_counts : t -> int array
+(** Per-node fanout over the {e whole} network (every gate operand
+    reference plus one per output binding); dead fanout included, so a
+    node with count 0 drives nothing at all. *)
+
 (** {2 Metrics} *)
 
 type stats = {

@@ -21,22 +21,7 @@ let write ?(module_name = "learned") c =
   Array.iter (fun s -> add "  input %s;\n" (ident s)) ins;
   Array.iter (fun s -> add "  output %s;\n" (ident s)) outs;
   (* only reachable logic is emitted *)
-  let reach = Array.make (N.num_nodes c) false in
-  let rec visit n =
-    if not reach.(n) then begin
-      reach.(n) <- true;
-      match N.gate c n with
-      | N.Const _ | N.Input _ -> ()
-      | N.Not a -> visit a
-      | N.And2 (a, b) | N.Or2 (a, b) | N.Xor2 (a, b) | N.Nand2 (a, b)
-      | N.Nor2 (a, b) | N.Xnor2 (a, b) ->
-          visit a;
-          visit b
-    end
-  in
-  for o = 0 to N.num_outputs c - 1 do
-    visit (N.output c o)
-  done;
+  let reach = N.reachable c in
   let wire n = Printf.sprintf "n%d" n in
   let operand n =
     match N.gate c n with

@@ -87,6 +87,66 @@ let test_rejects_cycles () =
        false
      with Failure _ -> true)
 
+(* reader hardening: the message must carry the offending source line *)
+let rejects_with fragment text =
+  try
+    ignore (Blif.read text);
+    false
+  with Failure msg ->
+    let contains s sub =
+      let n = String.length sub in
+      let found = ref false in
+      for i = 0 to String.length s - n do
+        if String.sub s i n = sub then found := true
+      done;
+      !found
+    in
+    contains msg fragment
+
+let test_rejects_duplicate_driver () =
+  check "second driver rejected, first line cited" true
+    (rejects_with "line 4"
+       ".model m\n\
+        .inputs a b\n\
+        .outputs z\n\
+        .names a z\n\
+        1 1\n\
+        .names b z\n\
+        1 1\n\
+        .end\n");
+  check "message names the signal" true
+    (rejects_with "z"
+       ".model m\n.inputs a b\n.outputs z\n.names a z\n1 1\n.names b z\n1 1\n.end\n")
+
+let test_rejects_undriven () =
+  check "undriven fanin rejected with location" true
+    (rejects_with "line 4"
+       ".model m\n.inputs a\n.outputs z\n.names a ghost z\n11 1\n.end\n")
+
+let test_rejects_dead_cycle () =
+  (* a cycle no output depends on: lazy elaboration would never reach it,
+     eager validation must *)
+  check "dead cycle still rejected" true
+    (rejects_with "cycle"
+       ".model m\n\
+        .inputs a\n\
+        .outputs z\n\
+        .names a z\n\
+        1 1\n\
+        .names q p\n\
+        1 1\n\
+        .names p q\n\
+        1 1\n\
+        .end\n")
+
+let test_rejects_bad_row () =
+  check "row width mismatch located" true
+    (rejects_with "line 5"
+       ".model m\n.inputs a b\n.outputs z\n.names a b z\n111 1\n.end\n");
+  check "bad pattern char rejected" true
+    (rejects_with "line 5"
+       ".model m\n.inputs a b\n.outputs z\n.names a b z\n1x 1\n.end\n")
+
 let test_constant_tables () =
   let text =
     ".model m\n.inputs a\n.outputs one zero\n.names one\n1\n.names zero\n.end\n"
@@ -138,6 +198,11 @@ let tests =
       test_continuation_and_comments;
     Alcotest.test_case "rejects latches" `Quick test_rejects_latches;
     Alcotest.test_case "rejects cycles" `Quick test_rejects_cycles;
+    Alcotest.test_case "rejects duplicate drivers" `Quick
+      test_rejects_duplicate_driver;
+    Alcotest.test_case "rejects undriven nets" `Quick test_rejects_undriven;
+    Alcotest.test_case "rejects dead cycles" `Quick test_rejects_dead_cycle;
+    Alcotest.test_case "rejects malformed rows" `Quick test_rejects_bad_row;
     Alcotest.test_case "constant tables" `Quick test_constant_tables;
     Alcotest.test_case "benchmark circuit roundtrip (CEC)" `Quick
       test_case_export_import;

@@ -57,6 +57,40 @@ let test_aiger_rejects_binary () =
        false
      with Failure _ -> true)
 
+(* reader hardening: malformed AIGER must fail with a located message *)
+let aiger_rejects_with fragment text =
+  try
+    ignore (Aiger.read text);
+    false
+  with Failure msg ->
+    let n = String.length fragment in
+    let found = ref false in
+    for i = 0 to String.length msg - n do
+      if String.sub msg i n = fragment then found := true
+    done;
+    !found
+
+let test_aiger_rejects_duplicate_and () =
+  check "duplicate AND definition rejected" true
+    (aiger_rejects_with "defined twice"
+       "aag 4 2 0 1 2\n2\n4\n6\n6 2 4\n6 2 4\n")
+
+let test_aiger_rejects_forward_ref () =
+  check "use before definition rejected" true
+    (aiger_rejects_with "line 5" "aag 4 2 0 1 2\n2\n4\n6\n6 8 2\n8 2 4\n")
+
+let test_aiger_rejects_out_of_range () =
+  check "literal beyond bound rejected" true
+    (aiger_rejects_with "beyond bound" "aag 3 2 0 1 1\n2\n4\n6\n6 2 10\n");
+  check "output beyond bound rejected" true
+    (aiger_rejects_with "beyond bound" "aag 2 2 0 1 0\n2\n4\n9\n")
+
+let test_aiger_rejects_bad_header () =
+  check "m < i + a rejected" true
+    (aiger_rejects_with "header" "aag 2 2 0 1 1\n2\n4\n6\n6 2 4\n");
+  check "truncated file located" true
+    (aiger_rejects_with "truncated" "aag 3 2 0 1 1\n2\n4")
+
 let test_verilog_structure () =
   let c = sample_circuit () in
   let v = Verilog.write ~module_name:"dut" c in
@@ -114,6 +148,14 @@ let tests =
     Alcotest.test_case "AIGER header" `Quick test_aiger_header;
     Alcotest.test_case "AIGER rejects latches" `Quick test_aiger_rejects_latches;
     Alcotest.test_case "AIGER rejects binary" `Quick test_aiger_rejects_binary;
+    Alcotest.test_case "AIGER rejects duplicate ANDs" `Quick
+      test_aiger_rejects_duplicate_and;
+    Alcotest.test_case "AIGER rejects forward references" `Quick
+      test_aiger_rejects_forward_ref;
+    Alcotest.test_case "AIGER rejects out-of-range literals" `Quick
+      test_aiger_rejects_out_of_range;
+    Alcotest.test_case "AIGER rejects bad headers" `Quick
+      test_aiger_rejects_bad_header;
     Alcotest.test_case "Verilog structure" `Quick test_verilog_structure;
     Alcotest.test_case "Verilog determinism" `Quick test_verilog_deterministic;
     QCheck_alcotest.to_alcotest prop_aiger_roundtrip_random;

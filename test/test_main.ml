@@ -31,4 +31,5 @@ let () =
       ("analysis", Test_analysis.tests);
       ("instr", Test_instr.tests);
       ("report", Test_report.tests);
+      ("check", Test_check.tests);
     ]

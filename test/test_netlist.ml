@@ -193,6 +193,33 @@ let test_sop_builder () =
       (Bv.get (N.eval c a) 0)
   done
 
+let test_cone_traversal () =
+  let c = fresh 3 2 in
+  let ab = N.and_ c (N.input c 0) (N.input c 1) in
+  let dead = N.xor_ c (N.input c 1) (N.input c 2) in
+  N.set_output c 0 (N.or_ c ab (N.input c 2));
+  N.set_output c 1 (N.not_ c ab);
+  let r = N.reachable c in
+  check_int "mark array covers all nodes" (N.num_nodes c) (Array.length r);
+  check "live gate reachable" true r.(ab);
+  check "dead gate not reachable" false r.(dead);
+  (* restricted to output 1: input 2 and the OR are outside the cone *)
+  let r1 = N.reachable_from c [ N.output c 1 ] in
+  check "cone of f1 reaches the AND" true r1.(ab);
+  check "cone of f1 misses input 2" false r1.(N.input c 2);
+  check "cone of f1 misses f0's OR" false r1.(N.output c 0);
+  let fo = N.fanout_counts c in
+  (* the AND feeds the OR and the NOT *)
+  check_int "shared gate fanout" 2 fo.(ab);
+  check_int "dead gate fanout" 0 fo.(dead);
+  (* every fanin edge plus every output reference is counted once *)
+  let edges = ref (N.num_outputs c) in
+  for n = 0 to N.num_nodes c - 1 do
+    edges := !edges + List.length (N.fanins (N.gate c n))
+  done;
+  check_int "fanout sums to edge + output count" !edges
+    (Array.fold_left ( + ) 0 fo)
+
 let prop_mux =
   QCheck.Test.make ~name:"mux semantics" ~count:100 QCheck.(int_range 0 7)
     (fun m ->
@@ -215,5 +242,6 @@ let tests =
     Alcotest.test_case "all six comparators" `Quick test_comparators;
     Alcotest.test_case "scale & linear combination" `Quick test_scale_and_linear;
     Alcotest.test_case "SOP realisation" `Quick test_sop_builder;
+    Alcotest.test_case "cone traversal" `Quick test_cone_traversal;
     QCheck_alcotest.to_alcotest prop_mux;
   ]
