@@ -30,6 +30,7 @@ module Heartbeat = Lr_report.Heartbeat
 let seed_base = ref 1
 let time_budget = ref None
 let check_level = ref Config.Off
+let jobs = ref 1
 
 type scale = {
   support_rounds : int;
@@ -76,6 +77,7 @@ let ours_config preset scale seed =
     max_tree_nodes = scale.max_tree_nodes;
     time_budget_s = !time_budget;
     check_level = !check_level;
+    jobs = !jobs;
   }
 
 let run_all_methods scale spec =
@@ -450,6 +452,9 @@ let json_of_rows rows =
     [
       ("schema", Json.String "lr-bench-report/v1");
       ("seed", Json.Int !seed_base);
+      (* baselines must not be compared across parallelism levels: the
+         regression gate keys on this *)
+      ("jobs", Json.Int !jobs);
       ( "rows",
         Json.List
           (List.map
@@ -491,6 +496,7 @@ let () =
   let heartbeat, args = extract "--heartbeat" args in
   let budget_s, args = extract "--time-budget" args in
   let check, args = extract "--check" args in
+  let jobs_v, args = extract "--jobs" args in
   let args =
     List.filter (fun a -> a <> "--quick" && a <> "--metrics") args
   in
@@ -512,6 +518,14 @@ let () =
           exit 1)
   | None -> ());
   time_budget := float_of "--time-budget" budget_s;
+  (match jobs_v with
+  | Some v -> (
+      match int_of_string_opt v with
+      | Some j -> jobs := j
+      | None ->
+          Printf.eprintf "bad --jobs value: %s\n" v;
+          exit 1)
+  | None -> ());
   (match check with
   | Some v -> (
       match Config.check_level_of_string v with

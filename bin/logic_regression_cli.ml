@@ -115,6 +115,15 @@ let check_arg =
         Config.Off
     & info [ "check" ] ~docv:"LEVEL" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the per-output conquer stage. $(b,1) (the \
+     default) runs everything on the calling domain; $(b,0) picks a \
+     pool size from the machine. Any value learns the same circuit \
+     from the same seed."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let time_budget_arg =
   let doc =
     "Wall-clock budget in seconds: the learner checks it between phases \
@@ -278,6 +287,19 @@ let json_of_run ~case ~seed ~time_budget ~eval_patterns ~accuracy report =
       ( "lint_findings",
         Json.List (List.map Finding.json report.Learner.lint_findings) );
       ("query_latency", Histogram.summary_to_json report.Learner.query_latency);
+      ("jobs", Json.Int report.Learner.jobs);
+      ( "domains",
+        Json.List
+          (List.map
+             (fun (d, phases) ->
+               Json.Obj
+                 [
+                   ("domain", Json.Int d);
+                   ( "phases",
+                     Json.Obj
+                       (List.map (fun (n, s) -> (n, Json.Float s)) phases) );
+                 ])
+             report.Learner.domain_times) );
       ("phases", Json.List phases);
       ("outputs_detail", Json.List outputs);
     ]
@@ -303,7 +325,8 @@ let print_phase_breakdown oc report =
   | _ -> ()
 
 let learn_run case preset seed budget eval_patterns support_rounds no_templates
-    no_grouping out trace metrics json history heartbeat time_budget check =
+    no_grouping out trace metrics json history heartbeat time_budget check jobs
+    =
   let config =
     {
       preset with
@@ -314,6 +337,7 @@ let learn_run case preset seed budget eval_patterns support_rounds no_templates
         Option.value support_rounds ~default:preset.Config.support_rounds;
       time_budget_s = time_budget;
       check_level = check;
+      jobs;
     }
   in
   let box, golden = resolve_box ~budget case in
@@ -343,6 +367,8 @@ let learn_run case preset seed budget eval_patterns support_rounds no_templates
     (N.size c) (N.stats c).N.inverters (N.stats c).N.depth;
   Printf.fprintf hout "  queries: %d\n" report.Learner.queries;
   Printf.fprintf hout "  time:    %.2f s\n" report.Learner.elapsed_s;
+  if report.Learner.jobs > 1 then
+    Printf.fprintf hout "  jobs:    %d worker domains\n" report.Learner.jobs;
   if report.Learner.budget_exceeded then
     Printf.fprintf hout
       "  NOTE: time budget exceeded, remaining work was skipped\n";
@@ -419,7 +445,7 @@ let learn_cmd =
       const learn_run $ case_pos $ preset_arg $ seed_arg $ budget_arg
       $ eval_arg $ support_rounds_arg $ no_templates_arg $ no_grouping_arg
       $ out_arg $ trace_arg $ metrics_arg $ json_arg $ history_arg
-      $ heartbeat_arg $ time_budget_arg $ check_arg)
+      $ heartbeat_arg $ time_budget_arg $ check_arg $ jobs_arg)
 
 (* ---------- baseline ---------- *)
 

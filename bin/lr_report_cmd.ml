@@ -150,6 +150,15 @@ let max_time_arg =
     & info [ "max-time-regress" ] ~docv:"FRAC" ~doc)
 
 let check_run old_path new_path case method_ max_gate min_acc max_time =
+  (* refuse cross-parallelism comparisons outright: the time columns
+     would not be like for like *)
+  let old_jobs = Compare.jobs_of_report (load_report old_path)
+  and new_jobs = Compare.jobs_of_report (load_report new_path) in
+  if old_jobs <> new_jobs then
+    die
+      "jobs mismatch: %s ran with jobs=%d, %s with jobs=%d — record a \
+       baseline at the same parallelism level"
+      old_path old_jobs new_path new_jobs;
   let deltas, only_old, only_new =
     Compare.join (entries ?case ?method_ old_path) (entries ?case ?method_ new_path)
   in

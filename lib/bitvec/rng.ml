@@ -16,6 +16,14 @@ let bits64 t =
 
 let split t = { state = bits64 t }
 
+(* Weyl-sequence constant distinct from [golden_gamma]; any odd 64-bit
+   mixing constant works, this one is from the SplitMix lineage. *)
+let keyed_gamma = 0xD1B54A32D192ED03L
+
+let split_keyed t key =
+  let k = Int64.mul (Int64.of_int (key + 1)) keyed_gamma in
+  { state = mix64 (Int64.logxor (mix64 (Int64.add t.state golden_gamma)) k) }
+
 let copy t = { state = t.state }
 
 let int t n =

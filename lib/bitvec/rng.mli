@@ -14,6 +14,14 @@ val create : int -> t
 val split : t -> t
 (** [split t] derives an independent generator and advances [t]. *)
 
+val split_keyed : t -> int -> t
+(** [split_keyed t key] derives an independent stream identified by
+    [key] {e without advancing [t]}: the result depends only on [t]'s
+    current state and [key], so a set of streams (one per subproblem,
+    e.g. per primary output) is the same whatever order — or from
+    whatever domain — they are requested in. Distinct keys give
+    decorrelated streams. *)
+
 val copy : t -> t
 (** [copy t] duplicates the current state (same future draws). *)
 

@@ -7,12 +7,24 @@ type provider =
   | Circuit of N.t
   | Function of (Bv.t -> Bv.t)
 
+exception Exhausted of { used : int; budget : int }
+
+let () =
+  Printexc.register_printer (function
+    | Exhausted { used; budget } ->
+        Some
+          (Printf.sprintf
+             "Blackbox.Exhausted: strict shard budget spent (%d used of %d)"
+             used budget)
+    | _ -> None)
+
 type t = {
   provider : provider;
   input_names : string array;
   output_names : string array;
   budget : int option;
   deadline_s : float option;
+  strict : bool;  (** shards only: queries past the budget raise *)
   mutable used : int;
   mutable started_at : float;
   by_span : (string, int ref) Hashtbl.t;
@@ -27,12 +39,43 @@ let make ?budget ?deadline_s provider ~input_names ~output_names =
     output_names;
     budget;
     deadline_s;
+    strict = false;
     used = 0;
     started_at = Unix.gettimeofday ();
     by_span = Hashtbl.create 16;
     span_order = [];
     latency = Histogram.create ();
   }
+
+(* A shard shares the parent's (immutable, thread-safe) provider and
+   names but owns every mutable accounting field, so worker domains can
+   query concurrently without racing on counters; the parent folds the
+   shard back with [absorb]. The deadline clock is inherited (a wall
+   clock is global by nature); the query budget is the shard's own
+   slice, decided by the caller. *)
+let shard ?budget ?(strict = false) t =
+  {
+    t with
+    budget;
+    strict;
+    used = 0;
+    by_span = Hashtbl.create 16;
+    span_order = [];
+    latency = Histogram.create ();
+  }
+
+let absorb t s =
+  t.used <- t.used + s.used;
+  List.iter
+    (fun key ->
+      let n = !(Hashtbl.find s.by_span key) in
+      match Hashtbl.find_opt t.by_span key with
+      | Some r -> r := !r + n
+      | None ->
+          Hashtbl.add t.by_span key (ref n);
+          t.span_order <- key :: t.span_order)
+    (List.rev s.span_order);
+  Histogram.merge ~into:t.latency s.latency
 
 let of_netlist ?budget ?deadline_s c =
   make ?budget ?deadline_s (Circuit c)
@@ -53,6 +96,10 @@ let check_width t a =
 (* Charge [n] queries to the innermost open instrumentation span, so a
    report can say where the budget went phase by phase. *)
 let attribute t n =
+  (if t.strict then
+     match t.budget with
+     | Some b when t.used + n > b -> raise (Exhausted { used = t.used; budget = b })
+     | _ -> ());
   t.used <- t.used + n;
   let key = Instr.current_span_name () in
   (match Hashtbl.find_opt t.by_span key with

@@ -13,6 +13,12 @@
 
 type t
 
+exception Exhausted of { used : int; budget : int }
+(** Raised by {!query}/{!query_many} on a {e strict} {!shard} whose
+    budget slice would be exceeded — the query is refused, not counted.
+    Plain boxes and non-strict shards never raise this: their exhaustion
+    stays advisory through {!exhausted}. *)
+
 val of_netlist : ?budget:int -> ?deadline_s:float -> Lr_netlist.Netlist.t -> t
 (** Wrap a golden circuit. The circuit is retained only behind the query
     interface; use {!golden} in evaluation code, never in the learner. *)
@@ -70,6 +76,34 @@ val reset_accounting : t -> unit
     the {!query_latency} histogram — benchmarks call this between
     methods sharing one box, and stale attribution would otherwise leak
     across runs. *)
+
+(** {1 Accounting shards}
+
+    The parallel learner gives every fanned-out subproblem its own
+    accounting {e shard}: a view of the same black box (same provider,
+    same names, same wall-clock deadline) with independent counters, so
+    worker domains never contend on — or lose — accounting updates.
+    Queries through a shard are {b not} visible in the parent until the
+    parent calls {!absorb}; absorbing every shard exactly once, in a
+    deterministic order, makes {!queries_used} and {!queries_by_span}
+    equal to what a sequential run would have recorded. Netlist-backed
+    boxes are safe to query from several domains at once (simulation
+    only reads the circuit); for {!of_function} boxes the caller must
+    supply a thread-safe function before sharding. *)
+
+val shard : ?budget:int -> ?strict:bool -> t -> t
+(** [shard ?budget ?strict t] — a fresh-accounting view of [t].
+    [budget] is the shard's own query slice ([None] = unlimited; the
+    parent's budget does {e not} apply to the shard). With
+    [strict = true] a query that would push the shard past its slice
+    raises {!Exhausted} instead of executing; default [false] keeps
+    the advisory semantics of {!exhausted}. *)
+
+val absorb : t -> t -> unit
+(** [absorb t s] folds shard [s]'s accounting into [t]: query count,
+    per-span attribution (new keys keep [s]'s first-seen order) and the
+    latency histogram. Call exactly once per shard, from one domain at
+    a time. [s]'s own counters are left untouched. *)
 
 val golden : t -> Lr_netlist.Netlist.t option
 (** The wrapped circuit, if any. {b Evaluation-only}: learners must not call

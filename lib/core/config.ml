@@ -30,6 +30,7 @@ type t = {
   refine_rounds : int;
   time_budget_s : float option;
   check_level : check_level;
+  jobs : int;
 }
 
 let contest =
@@ -52,6 +53,7 @@ let contest =
     refine_rounds = 0;
     time_budget_s = None;
     check_level = Off;
+    jobs = 1;
   }
 
 let improved =
@@ -69,3 +71,4 @@ let default = improved
 let with_seed seed t = { t with seed }
 let with_time_budget time_budget_s t = { t with time_budget_s }
 let with_check check_level t = { t with check_level }
+let with_jobs jobs t = { t with jobs }

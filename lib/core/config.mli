@@ -42,11 +42,18 @@ type t = {
           (0 = paper behaviour) *)
   time_budget_s : float option;
       (** wall-clock budget (the contest's hard time limit): the learner
-          checks it between phases and between per-output iterations and
-          skips remaining work once exceeded, reporting
-          [budget_exceeded]; [None] (the presets' value) disables the
-          check *)
+          checks it between phases — before template matching, before
+          support identification, before the conquer fan-out, before
+          optimization — and skips remaining work once exceeded,
+          reporting [budget_exceeded]; [None] (the presets' value)
+          disables the check *)
   check_level : check_level;
+  jobs : int;
+      (** worker domains for the per-output conquer stage (1 = run
+          inline on the calling domain, the presets' value; [<= 0] =
+          auto, [Lr_par.Par.default_jobs ()]). Any value learns the
+          {e same} circuit from the same seed — parallelism only
+          reschedules work, it never changes results *)
 }
 
 val contest : t
@@ -58,3 +65,4 @@ val default : t
 val with_seed : int -> t -> t
 val with_time_budget : float option -> t -> t
 val with_check : check_level -> t -> t
+val with_jobs : int -> t -> t

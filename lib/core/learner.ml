@@ -19,6 +19,7 @@ module Gcstat = Lr_report.Gcstat
 module Selfcheck = Lr_check.Selfcheck
 module Lint = Lr_check.Lint
 module Finding = Lr_check.Finding
+module Par = Lr_par.Par
 
 type method_used =
   | Linear_template
@@ -65,6 +66,9 @@ type report = {
       (** semantic verifications that passed (0 unless [check_level = Full]) *)
   lint_findings : Lr_check.Finding.t list;
       (** structural lint of the final circuit ([] when [check_level = Off]) *)
+  jobs : int;
+  domain_times : (int * (string * float) list) list;
+      (** per worker domain, summed conquer phase wall-clock *)
 }
 
 (* The five pipeline phases of Figure 1, in execution order, plus the
@@ -173,31 +177,77 @@ let minimize_cover ~arity ~chosen ~other =
   end
   else cheap
 
-(* Realise a BDD as a multiplexer network — the compact fallback when a
-   function (parity-like) has a small BDD but an exponential SOP. *)
-let mux_tree_of_bdd circuit man vars root =
+(* What a conquer task hands back for circuit construction. Tasks run on
+   worker domains and must not touch the (unsynchronised) netlist
+   builder, so they return pure data: either a cover to synthesise as an
+   SOP, or the learned function's BDD serialised as a mux DAG. All node
+   creation then happens on the calling domain, in output order — the
+   netlist is identical however many domains did the learning. *)
+type build_plan =
+  | Build_sop of { cover : Lr_cube.Cover.t; complemented : bool }
+  | Build_mux of { muxes : (int * int * int) array; root : int }
+      (** [(var, low, high)] rows, children before parents; [low]/[high]
+          and [root] index earlier rows, or [-1] = const false,
+          [-2] = const true *)
+
+(* Serialise a BDD as a mux DAG — the compact fallback when a function
+   (parity-like) has a small BDD but an exponential SOP. Deterministic
+   DFS, low child before high. *)
+let serialize_mux man root =
   let memo = Hashtbl.create 64 in
+  let rev_rows = ref [] in
+  let count = ref 0 in
   let rec go b =
     match Bdd.is_const man b with
-    | Some false -> N.const_false circuit
-    | Some true -> N.const_true circuit
+    | Some false -> -1
+    | Some true -> -2
     | None -> (
         let id = Bdd.node_id b in
         match Hashtbl.find_opt memo id with
-        | Some n -> n
+        | Some i -> i
         | None ->
             let v =
               match Bdd.top_var man b with Some v -> v | None -> assert false
             in
-            let n =
-              B.mux circuit ~sel:vars.(v)
-                ~then_:(go (Bdd.high man b))
-                ~else_:(go (Bdd.low man b))
-            in
-            Hashtbl.replace memo id n;
-            n)
+            let lo = go (Bdd.low man b) in
+            let hi = go (Bdd.high man b) in
+            let i = !count in
+            incr count;
+            rev_rows := (v, lo, hi) :: !rev_rows;
+            Hashtbl.add memo id i;
+            i)
   in
-  go root
+  let root = go root in
+  (Array.of_list (List.rev !rev_rows), root)
+
+let build_mux circuit vars muxes root =
+  let built = Array.make (Array.length muxes) (N.const_false circuit) in
+  let resolve i =
+    if i = -1 then N.const_false circuit
+    else if i = -2 then N.const_true circuit
+    else built.(i)
+  in
+  Array.iteri
+    (fun i (v, lo, hi) ->
+      built.(i) <-
+        B.mux circuit ~sel:vars.(v) ~then_:(resolve hi) ~else_:(resolve lo))
+    muxes;
+  resolve root
+
+(* Everything a conquer task learns about one output, minus the circuit
+   nodes themselves. *)
+type conquered = {
+  c_dom : domain;
+  c_support : int list;
+  c_method : method_used;
+  c_fbdt : Fbdt.result;
+  c_plan : build_plan;
+  c_cubes : int;
+  c_use_offset : bool;
+  c_check_cover : Cover.t option;
+  c_phases : (string * float * Gcstat.t) list;  (** occurrence order *)
+  c_snapshot : Instr.snapshot;
+}
 
 let learn ?(config = Config.default) box =
   let t0 = Unix.gettimeofday () in
@@ -406,187 +456,280 @@ let learn ?(config = Config.default) box =
       }
       :: !reports
   in
-  (* ---- step 4 per remaining output ---- *)
-  List.iter
-    (fun po ->
-      if over_budget () || stats = None then skip_output po
-      else
-      Instr.span ~name:("po:" ^ out_names.(po)) @@ fun () ->
-      let stats = Option.get stats in
-      let raw_support = Ps.support stats ~output:po in
-      let compression =
-        match matches with
-        | None -> None
-        | Some m ->
-            List.find_opt
-              (fun c -> c.T.po = po && c.T.prop_cube <> None)
-              m.T.comparators
+  (* ---- step 4: per-output conquer (parallel) + sequential merge ----
+     Each remaining output is a self-contained task: its own RNG stream
+     (split off [tree_rng] keyed by the output index, so streams do not
+     depend on scheduling), its own accounting shard of the black box
+     with a deterministic slice of the remaining query budget, and its
+     own instrumentation context (captured, then replayed into the
+     parent trace at merge time). Tasks never touch the netlist: they
+     return a {!build_plan}, and all circuit construction — plus
+     full-check verification, which consumes the shared [check_rng] —
+     happens afterwards on the calling domain, in output order. With
+     [jobs = 1] the same closures run inline in the same order, which is
+     what makes [--jobs n] bit-identical to [--jobs 1]. *)
+  let jobs =
+    if config.Config.jobs <= 0 then Par.default_jobs () else config.Config.jobs
+  in
+  let domain_time = Array.init jobs (fun _ -> Hashtbl.create 4) in
+  let conquer_output stats shard po =
+    let raw_support = Ps.support stats ~output:po in
+    let compression =
+      match matches with
+      | None -> None
+      | Some m ->
+          List.find_opt
+            (fun c -> c.T.po = po && c.T.prop_cube <> None)
+            m.T.comparators
+    in
+    let dom =
+      match compression with
+      | None -> plain_domain ni
+      | Some cmp -> compressed_domain ni cmp
+    in
+    let support =
+      let kept =
+        List.filter (fun v -> not (List.mem v dom.compressed_bits)) raw_support
       in
-      let dom =
-        match compression with
-        | None -> plain_domain ni
-        | Some cmp -> compressed_domain ni cmp
-      in
-      let support =
-        let kept =
-          List.filter (fun v -> not (List.mem v dom.compressed_bits)) raw_support
+      match dom.delegate with
+      | None -> kept
+      | Some (_, dvar) -> kept @ [ dvar ]
+    in
+    let rng = Rng.split_keyed tree_rng po in
+    let oracle = oracle_for shard dom ~output:po in
+    let phases = ref [] in
+    let phase name f =
+      let g0 = Gcstat.sample () in
+      let r, dt = Instr.timed_span ~name f in
+      let d = Gcstat.diff (Gcstat.sample ()) g0 in
+      phases := (name, dt, d) :: !phases;
+      Instr.gauge "gc.heap_words" (float_of_int d.Gcstat.heap_words);
+      r
+    in
+    let result, method_used =
+      phase "fbdt" @@ fun () ->
+      if List.length support <= config.Config.small_support_threshold then
+        (Fbdt.learn_exhaustive ~rng ~support oracle, Exhaustive)
+      else begin
+        (* refinement loop (extension): when the tree came back truncated
+           and fresh validation samples expose mistakes, retry with a
+           doubled node budget — the budget-vs-accuracy dial the paper
+           leaves at a fixed setting *)
+        let validate result =
+          let probes =
+            Array.init 256 (fun i ->
+                Bv.random_biased rng [| 0.5; 0.8; 0.2 |].(i mod 3) dom.arity)
+          in
+          let want = oracle.Oracle.query probes in
+          let errors = ref 0 in
+          Array.iteri
+            (fun i p ->
+              if Cover.eval result.Fbdt.onset p <> want.(i) then incr errors)
+            probes;
+          !errors = 0
         in
-        match dom.delegate with
-        | None -> kept
-        | Some (_, dvar) -> kept @ [ dvar ]
-      in
-      let oracle = oracle_for box dom ~output:po in
-      let result, method_used =
-        phase "fbdt" @@ fun () ->
-        if List.length support <= config.Config.small_support_threshold then
-          ( Fbdt.learn_exhaustive ~rng:tree_rng ~support oracle,
-            Exhaustive )
-        else begin
-          (* refinement loop (extension): when the tree came back truncated
-             and fresh validation samples expose mistakes, retry with a
-             doubled node budget — the budget-vs-accuracy dial the paper
-             leaves at a fixed setting *)
-          let validate result =
-            let probes =
-              Array.init 256 (fun i ->
-                  Bv.random_biased tree_rng
-                    [| 0.5; 0.8; 0.2 |].(i mod 3)
-                    dom.arity)
-            in
-            let want = oracle.Oracle.query probes in
-            let errors = ref 0 in
-            Array.iteri
-              (fun i p ->
-                if Cover.eval result.Fbdt.onset p <> want.(i) then incr errors)
-              probes;
-            !errors = 0
+        let rec attempt tries max_nodes =
+          let fcfg =
+            {
+              Fbdt.node_rounds = config.Config.node_rounds;
+              biases = Ps.default_biases;
+              leaf_epsilon = config.Config.leaf_epsilon;
+              max_nodes;
+            }
           in
-          let rec attempt tries max_nodes =
-            let fcfg =
-              {
-                Fbdt.node_rounds = config.Config.node_rounds;
-                biases = Ps.default_biases;
-                leaf_epsilon = config.Config.leaf_epsilon;
-                max_nodes;
-              }
-            in
-            let result = Fbdt.learn ~support fcfg ~rng:tree_rng oracle in
-            if
-              tries <= 0 || result.Fbdt.complete
-              || Box.exhausted box || validate result
-            then result
-            else attempt (tries - 1) (2 * max_nodes)
+          let result = Fbdt.learn ~support fcfg ~rng oracle in
+          if
+            tries <= 0 || result.Fbdt.complete
+            || Box.exhausted shard || validate result
+          then result
+          else attempt (tries - 1) (2 * max_nodes)
+        in
+        ( attempt config.Config.refine_rounds config.Config.max_tree_nodes,
+          Decision_tree )
+      end
+    in
+    let use_offset =
+      config.Config.use_onset_offset && result.Fbdt.truth_ratio > 0.5
+    in
+    let plan, cubes_built, check_cover =
+      phase "cover-min" @@ fun () ->
+      match result.Fbdt.table with
+      | Some table ->
+          (* exhaustive conquest: collapse the exact truth table to a BDD
+             and pick the cheaper of its irredundant SOP and its mux
+             network (parity-like functions have tiny BDDs but
+             exponential SOPs) *)
+          let man = Bdd.man ~nvars:dom.arity in
+          let f =
+            Bdd.of_truth_table man ~vars:(Array.of_list support) (fun i ->
+                table.(i))
           in
-          ( attempt config.Config.refine_rounds config.Config.max_tree_nodes,
-            Decision_tree )
-        end
+          let target = if use_offset then Bdd.not_ man f else f in
+          let mux_cost = 3 * Bdd.size man f in
+          let built =
+            match
+              Bdd.isop_bounded man ~max_cubes:(max 512 mux_cost)
+                ~lower:target ~upper:target
+            with
+            | Some cover
+              when Cover.num_literals cover + Cover.num_cubes cover
+                   <= mux_cost ->
+                ( Build_sop { cover; complemented = use_offset },
+                  Cover.num_cubes cover,
+                  None )
+            | Some _ | None ->
+                let muxes, root = serialize_mux man f in
+                (Build_mux { muxes; root }, 0, None)
+          in
+          Bdd.record_counters man;
+          built
+      | None ->
+          let chosen, other =
+            if use_offset then (result.Fbdt.offset, result.Fbdt.onset)
+            else (result.Fbdt.onset, result.Fbdt.offset)
+          in
+          let cover =
+            if config.Config.minimize_cover then
+              minimize_cover ~arity:dom.arity ~chosen ~other
+            else merge_bounded chosen
+          in
+          ( Build_sop { cover; complemented = use_offset },
+            Cover.num_cubes cover,
+            Some cover )
+    in
+    Instr.count "cover.cubes" cubes_built;
+    {
+      c_dom = dom;
+      c_support = support;
+      c_method = method_used;
+      c_fbdt = result;
+      c_plan = plan;
+      c_cubes = cubes_built;
+      c_use_offset = use_offset;
+      c_check_cover = check_cover;
+      c_phases = List.rev !phases;
+      c_snapshot = Instr.empty_snapshot;
+    }
+  in
+  (match remaining with
+  | [] -> ()
+  | _ when over_budget () || stats = None -> List.iter skip_output remaining
+  | _ ->
+      let stats = Option.get stats in
+      let n_tasks = List.length remaining in
+      (* deterministic budget split: each task gets an equal slice of
+         whatever query budget is left, independent of scheduling — the
+         sequential first-come-first-served draw would make exhaustion
+         depend on completion order *)
+      let slice =
+        match Box.budget box with
+        | None -> fun _ -> None
+        | Some b ->
+            let left = max 0 (b - Box.queries_used box) in
+            let each = left / n_tasks and extra = left mod n_tasks in
+            fun i -> Some (each + if i < extra then 1 else 0)
       in
-      let use_offset =
-        config.Config.use_onset_offset && result.Fbdt.truth_ratio > 0.5
+      let tasks =
+        Array.of_list
+          (List.mapi
+             (fun i po -> (po, Box.shard ?budget:(slice i) box))
+             remaining)
       in
-      (* virtual variable -> circuit node (delegates become their
-         comparator subcircuit: the input-compression payoff) *)
-      let vars =
-        Array.init dom.arity (fun v ->
-            if v < ni then pi.(v)
-            else
-              match dom.delegate with
-              | Some (cmp, _) ->
-                  let lhs = vec_nodes cmp.T.lhs in
-                  (match cmp.T.rhs with
-                  | T.Vec vec ->
-                      B.compare_op circuit cmp.T.cmp_op lhs (vec_nodes vec)
-                  | T.Const k -> B.compare_const circuit cmp.T.cmp_op lhs k)
-              | None -> assert false)
+      let results, workers =
+        Par.with_pool ~jobs (fun pool ->
+            Par.map_workers
+              ~labels:(fun i -> "po:" ^ out_names.(fst tasks.(i)))
+              pool
+              (fun (po, shard) ->
+                let c, snap =
+                  Instr.collect (fun () -> conquer_output stats shard po)
+                in
+                { c with c_snapshot = snap })
+              tasks)
       in
-      let node, cubes_built, check_cover =
-        phase "cover-min" @@ fun () ->
-        match result.Fbdt.table with
-        | Some table ->
-            (* exhaustive conquest: collapse the exact truth table to a BDD
-               and pick the cheaper of its irredundant SOP and its mux
-               network (parity-like functions have tiny BDDs but
-               exponential SOPs) *)
-            let man = Bdd.man ~nvars:dom.arity in
-            let f =
-              Bdd.of_truth_table man ~vars:(Array.of_list support) (fun i ->
-                  table.(i))
-            in
-            let target = if use_offset then Bdd.not_ man f else f in
-            let mux_cost = 3 * Bdd.size man f in
-            let built =
-              match
-                Bdd.isop_bounded man ~max_cubes:(max 512 mux_cost)
-                  ~lower:target ~upper:target
-              with
-              | Some cover
-                when Cover.num_literals cover + Cover.num_cubes cover
-                     <= mux_cost ->
-                  let n = B.sop circuit vars cover in
-                  ( (if use_offset then N.not_ circuit n else n),
-                    Cover.num_cubes cover,
-                    None )
-              | Some _ | None -> (mux_tree_of_bdd circuit man vars f, 0, None)
-            in
-            Bdd.record_counters man;
-            built
-        | None ->
-            let chosen, other =
-              if use_offset then (result.Fbdt.offset, result.Fbdt.onset)
-              else (result.Fbdt.onset, result.Fbdt.offset)
-            in
-            let cover =
-              if config.Config.minimize_cover then
-                minimize_cover ~arity:dom.arity ~chosen ~other
-              else merge_bounded chosen
-            in
-            let n = B.sop circuit vars cover in
-            ( (if use_offset then N.not_ circuit n else n),
-              Cover.num_cubes cover,
-              Some cover )
-      in
-      Instr.count "cover.cubes" cubes_built;
-      N.set_output circuit po node;
-      (* checked mode: prove the synthesised cone against what the FBDT
-         phase actually learned, before optimization can blur the trail *)
-      if full_check then begin
-        match result.Fbdt.table with
-        | Some table ->
-            let support_arr = Array.of_list support in
-            phase "check" (fun () ->
-                Selfcheck.verify_table ~stage:"cover-min" ~circuit ~output:po
-                  ~bits:(Array.length support_arr)
-                  ~to_full:(fun m ->
-                    let va = Bv.create dom.arity in
-                    Array.iteri
-                      (fun j v -> Bv.set va v ((m lsr j) land 1 = 1))
-                      support_arr;
-                    to_full ni dom va)
-                  ~expected:(fun m -> table.(m)));
-            incr checks_verified
-        | None -> (
-            match check_cover with
-            | Some cover ->
-                phase "check" (fun () ->
-                    Selfcheck.verify_cover ~stage:"cover-min" ~rng:check_rng
-                      ~circuit ~output:po ~vars ~cover
-                      ~complemented:use_offset ());
-                incr checks_verified
-            | None -> ())
-      end;
-      reports :=
-        {
-          output = po;
-          output_name = out_names.(po);
-          method_used;
-          support_size = List.length support;
-          cubes = cubes_built;
-          used_offset = use_offset;
-          complete = result.Fbdt.complete;
-          compressed = dom.delegate <> None;
-        }
-        :: !reports)
-    remaining;
+      (* merge, in output order: fold the shard accounting and captured
+         telemetry back, build the circuit cone, check it *)
+      Array.iteri
+        (fun i c ->
+          let po, shard = tasks.(i) in
+          Box.absorb box shard;
+          Instr.span ~name:("po:" ^ out_names.(po)) @@ fun () ->
+          Instr.absorb c.c_snapshot;
+          let dh = domain_time.(workers.(i)) in
+          List.iter
+            (fun (name, dt, d) ->
+              Hashtbl.replace phase_time name
+                (Hashtbl.find phase_time name +. dt);
+              Hashtbl.replace phase_gc name
+                (Gcstat.add (Hashtbl.find phase_gc name) d);
+              Hashtbl.replace dh name
+                (Option.value ~default:0. (Hashtbl.find_opt dh name) +. dt))
+            c.c_phases;
+          let dom = c.c_dom in
+          (* virtual variable -> circuit node (delegates become their
+             comparator subcircuit: the input-compression payoff) *)
+          let vars =
+            Array.init dom.arity (fun v ->
+                if v < ni then pi.(v)
+                else
+                  match dom.delegate with
+                  | Some (cmp, _) ->
+                      let lhs = vec_nodes cmp.T.lhs in
+                      (match cmp.T.rhs with
+                      | T.Vec vec ->
+                          B.compare_op circuit cmp.T.cmp_op lhs (vec_nodes vec)
+                      | T.Const k -> B.compare_const circuit cmp.T.cmp_op lhs k)
+                  | None -> assert false)
+          in
+          let node =
+            match c.c_plan with
+            | Build_sop { cover; complemented } ->
+                let n = B.sop circuit vars cover in
+                if complemented then N.not_ circuit n else n
+            | Build_mux { muxes; root } -> build_mux circuit vars muxes root
+          in
+          N.set_output circuit po node;
+          (* checked mode: prove the synthesised cone against what the
+             FBDT phase actually learned, before optimization can blur
+             the trail *)
+          (if full_check then
+             match c.c_fbdt.Fbdt.table with
+             | Some table ->
+                 let support_arr = Array.of_list c.c_support in
+                 phase "check" (fun () ->
+                     Selfcheck.verify_table ~stage:"cover-min" ~circuit
+                       ~output:po
+                       ~bits:(Array.length support_arr)
+                       ~to_full:(fun m ->
+                         let va = Bv.create dom.arity in
+                         Array.iteri
+                           (fun j v -> Bv.set va v ((m lsr j) land 1 = 1))
+                           support_arr;
+                         to_full ni dom va)
+                       ~expected:(fun m -> table.(m)));
+                 incr checks_verified
+             | None -> (
+                 match c.c_check_cover with
+                 | Some cover ->
+                     phase "check" (fun () ->
+                         Selfcheck.verify_cover ~stage:"cover-min"
+                           ~rng:check_rng ~circuit ~output:po ~vars ~cover
+                           ~complemented:c.c_use_offset ());
+                     incr checks_verified
+                 | None -> ()));
+          reports :=
+            {
+              output = po;
+              output_name = out_names.(po);
+              method_used = c.c_method;
+              support_size = List.length c.c_support;
+              cubes = c.c_cubes;
+              used_offset = c.c_use_offset;
+              complete = c.c_fbdt.Fbdt.complete;
+              compressed = dom.delegate <> None;
+            }
+            :: !reports)
+        results);
   (* ---- step 5: circuit optimization ---- *)
   let circuit =
     if over_budget () then circuit
@@ -675,6 +818,16 @@ let learn ?(config = Config.default) box =
   let phase_gc =
     List.map (fun n -> (n, Hashtbl.find phase_gc n)) phase_names
   in
+  let domain_times =
+    Array.to_list
+      (Array.mapi
+         (fun d h ->
+           ( d,
+             List.filter_map
+               (fun n -> Option.map (fun t -> (n, t)) (Hashtbl.find_opt h n))
+               phase_names ))
+         domain_time)
+  in
   {
     circuit;
     outputs = List.sort (fun a b -> compare a.output b.output) !reports;
@@ -689,4 +842,6 @@ let learn ?(config = Config.default) box =
     check_level = config.Config.check_level;
     checks_verified = !checks_verified;
     lint_findings;
+    jobs;
+    domain_times;
   }

@@ -77,6 +77,14 @@ type report = {
       (** structural lint of the final circuit ([] when
           [check_level = Off]); never contains error-severity findings —
           those abort the run *)
+  jobs : int;
+      (** worker domains the per-output conquer stage ran on (resolved
+          from {!Config.t.jobs}; 1 = everything on the calling domain) *)
+  domain_times : (int * (string * float) list) list;
+      (** per worker domain (ascending id), summed wall-clock seconds of
+          the conquer phases ([fbdt]/[cover-min]) that ran there —
+          scheduling telemetry only; which domain ran what never affects
+          the learned circuit *)
 }
 
 val phase_names : string list

@@ -18,7 +18,15 @@ type event =
 
 type sink = { emit : event -> unit; flush : unit -> unit }
 
-(* ---------- global state ---------- *)
+(* ---------- state ----------
+
+   Process-wide knobs (clock, master switch) are plain globals, set once
+   from the main domain before any fan-out. Everything that is written on
+   the hot recording path — the span stack, the aggregate tables, the
+   sink list, the capture buffer — lives in domain-local storage: each
+   worker domain records into its own isolated state and the parent folds
+   finished work back in with {!collect}/{!absorb}, so no lock is ever
+   taken while recording and no update can be lost to a race. *)
 
 let clock = ref Unix.gettimeofday
 let set_clock f = clock := f
@@ -26,101 +34,138 @@ let now () = !clock ()
 let enabled_flag = ref true
 let enabled () = !enabled_flag
 let set_enabled b = enabled_flag := b
-let sinks : sink list ref = ref []
-let set_sinks l = sinks := l
-let add_sink s = sinks := !sinks @ [ s ]
-let flush_sinks () = List.iter (fun s -> s.flush ()) !sinks
-let emit ev = List.iter (fun s -> s.emit ev) !sinks
 
-(* span stack; [cur_*] cache the innermost frame so the hot attribution
-   read in Blackbox is two dereferences *)
 type frame = { name : string; path : string; start : float; depth : int }
+type span_agg = { mutable seconds : float; mutable calls : int }
 
-let stack : frame list ref = ref []
-let cur_name = ref ""
-let cur_path = ref ""
-let current_span_name () = !cur_name
-let current_span_path () = !cur_path
-let span_depth () = List.length !stack
+type state = {
+  (* span stack; [cur_*] cache the innermost frame so the hot attribution
+     read in Blackbox is two dereferences *)
+  mutable stack : frame list;
+  mutable cur_name : string;
+  mutable cur_path : string;
+  span_agg : (string, span_agg) Hashtbl.t;
+  mutable span_order : string list;
+  counter_name_total : (string, int ref) Hashtbl.t;
+  mutable counter_order : string list;
+  counter_span_total : (string * string, int ref) Hashtbl.t;
+  mutable counter_span_order : (string * string) list;
+  mutable sinks : sink list;
+  mutable capture : event list option;
+      (** [Some buf] while inside {!collect}: every event is also pushed
+          (reversed) onto [buf] so the caller can {!absorb} it later *)
+}
+
+let fresh_state () =
+  {
+    stack = [];
+    cur_name = "";
+    cur_path = "";
+    span_agg = Hashtbl.create 64;
+    span_order = [];
+    counter_name_total = Hashtbl.create 64;
+    counter_order = [];
+    counter_span_total = Hashtbl.create 64;
+    counter_span_order = [];
+    sinks = [];
+    capture = None;
+  }
+
+let state_key : state Domain.DLS.key = Domain.DLS.new_key fresh_state
+let st () = Domain.DLS.get state_key
+let set_sinks l = (st ()).sinks <- l
+let add_sink s = (st ()).sinks <- (st ()).sinks @ [ s ]
+let flush_sinks () = List.iter (fun s -> s.flush ()) (st ()).sinks
+
+let emit_record s ev =
+  List.iter (fun snk -> snk.emit ev) s.sinks;
+  match s.capture with None -> () | Some buf -> s.capture <- Some (ev :: buf)
+
+let observed s = s.sinks <> [] || s.capture <> None
+let current_span_name () = (st ()).cur_name
+let current_span_path () = (st ()).cur_path
+let span_depth () = List.length (st ()).stack
 
 (* ---------- aggregates ---------- *)
 
-type span_agg = { mutable seconds : float; mutable calls : int }
-
-let span_agg : (string, span_agg) Hashtbl.t = Hashtbl.create 64
-let span_order : string list ref = ref []
-let counter_name_total : (string, int ref) Hashtbl.t = Hashtbl.create 64
-let counter_order : string list ref = ref []
-
-let counter_span_total : (string * string, int ref) Hashtbl.t =
-  Hashtbl.create 64
-
-let counter_span_order : (string * string) list ref = ref []
-
 let reset_aggregates () =
-  Hashtbl.reset span_agg;
-  span_order := [];
-  Hashtbl.reset counter_name_total;
-  counter_order := [];
-  Hashtbl.reset counter_span_total;
-  counter_span_order := []
+  let s = st () in
+  Hashtbl.reset s.span_agg;
+  s.span_order <- [];
+  Hashtbl.reset s.counter_name_total;
+  s.counter_order <- [];
+  Hashtbl.reset s.counter_span_total;
+  s.counter_span_order <- []
 
-let bump_int tbl order key n =
+(* returns [(new_total, is_new_key)] *)
+let bump_int tbl key n =
   match Hashtbl.find_opt tbl key with
   | Some r ->
       r := !r + n;
-      !r
+      (!r, false)
   | None ->
       Hashtbl.add tbl key (ref n);
-      order := key :: !order;
-      n
+      (n, true)
 
-let bump_span key dur =
-  match Hashtbl.find_opt span_agg key with
+let bump_counter s name n =
+  let total, is_new = bump_int s.counter_name_total name n in
+  if is_new then s.counter_order <- name :: s.counter_order;
+  total
+
+let bump_counter_span s key n =
+  let _, is_new = bump_int s.counter_span_total key n in
+  if is_new then s.counter_span_order <- key :: s.counter_span_order
+
+let bump_span s key dur calls =
+  match Hashtbl.find_opt s.span_agg key with
   | Some a ->
       a.seconds <- a.seconds +. dur;
-      a.calls <- a.calls + 1
+      a.calls <- a.calls + calls
   | None ->
-      Hashtbl.add span_agg key { seconds = dur; calls = 1 };
-      span_order := key :: !span_order
+      Hashtbl.add s.span_agg key { seconds = dur; calls };
+      s.span_order <- key :: s.span_order
 
 let tbl_get tbl key default = match Hashtbl.find_opt tbl key with
   | Some r -> !r
   | None -> default
 
 let span_seconds () =
-  List.rev_map (fun p -> (p, (Hashtbl.find span_agg p).seconds)) !span_order
+  let s = st () in
+  List.rev_map (fun p -> (p, (Hashtbl.find s.span_agg p).seconds)) s.span_order
 
 let span_calls () =
-  List.rev_map (fun p -> (p, (Hashtbl.find span_agg p).calls)) !span_order
+  let s = st () in
+  List.rev_map (fun p -> (p, (Hashtbl.find s.span_agg p).calls)) s.span_order
 
 let counter_totals () =
-  List.rev_map (fun c -> (c, tbl_get counter_name_total c 0)) !counter_order
+  let s = st () in
+  List.rev_map (fun c -> (c, tbl_get s.counter_name_total c 0)) s.counter_order
 
-let counter_total name = tbl_get counter_name_total name 0
+let counter_total name = tbl_get (st ()).counter_name_total name 0
 
 let counters_by_span () =
+  let s = st () in
   List.rev_map
-    (fun k -> (k, tbl_get counter_span_total k 0))
-    !counter_span_order
+    (fun k -> (k, tbl_get s.counter_span_total k 0))
+    s.counter_span_order
 
 (* ---------- recording ---------- *)
 
-let push name =
-  let path = if !cur_path = "" then name else !cur_path ^ "/" ^ name in
-  let fr = { name; path; start = now (); depth = List.length !stack } in
-  stack := fr :: !stack;
-  cur_name := name;
-  cur_path := path;
-  if !sinks <> [] then
-    emit (Span_begin { name; path; ts = fr.start; depth = fr.depth });
+let push s name =
+  let path = if s.cur_path = "" then name else s.cur_path ^ "/" ^ name in
+  let fr = { name; path; start = now (); depth = List.length s.stack } in
+  s.stack <- fr :: s.stack;
+  s.cur_name <- name;
+  s.cur_path <- path;
+  if observed s then
+    emit_record s (Span_begin { name; path; ts = fr.start; depth = fr.depth });
   fr
 
-let pop fr =
+let pop s fr =
   let ts = now () in
   let dur = ts -. fr.start in
-  (match !stack with
-  | f :: rest when f == fr -> stack := rest
+  (match s.stack with
+  | f :: rest when f == fr -> s.stack <- rest
   | _ ->
       (* unbalanced close (an exception skipped inner pops): drop
          everything above [fr] as well *)
@@ -129,17 +174,17 @@ let pop fr =
         | _ :: rest -> rest
         | [] -> []
       in
-      stack := unwind !stack);
-  (match !stack with
+      s.stack <- unwind s.stack);
+  (match s.stack with
   | [] ->
-      cur_name := "";
-      cur_path := ""
+      s.cur_name <- "";
+      s.cur_path <- ""
   | f :: _ ->
-      cur_name := f.name;
-      cur_path := f.path);
-  bump_span fr.path dur;
-  if !sinks <> [] then
-    emit
+      s.cur_name <- f.name;
+      s.cur_path <- f.path);
+  bump_span s fr.path dur 1;
+  if observed s then
+    emit_record s
       (Span_end { name = fr.name; path = fr.path; ts; dur_s = dur; depth = fr.depth });
   dur
 
@@ -150,9 +195,10 @@ let timed_span ~name f =
     (r, now () -. t0)
   end
   else begin
-    let fr = push name in
+    let s = st () in
+    let fr = push s name in
     let dur = ref 0.0 in
-    let r = Fun.protect ~finally:(fun () -> dur := pop fr) f in
+    let r = Fun.protect ~finally:(fun () -> dur := pop s fr) f in
     (r, !dur)
   end
 
@@ -160,16 +206,81 @@ let span ~name f = if not !enabled_flag then f () else fst (timed_span ~name f)
 
 let count name n =
   if !enabled_flag then begin
-    let path = !cur_path in
-    let total = bump_int counter_name_total counter_order name n in
-    ignore (bump_int counter_span_total counter_span_order (path, name) n);
-    if !sinks <> [] then
-      emit (Count { name; path; ts = now (); incr = n; total })
+    let s = st () in
+    let path = s.cur_path in
+    let total = bump_counter s name n in
+    bump_counter_span s (path, name) n;
+    if observed s then
+      emit_record s (Count { name; path; ts = now (); incr = n; total })
   end
 
 let gauge name value =
-  if !enabled_flag && !sinks <> [] then
-    emit (Gauge { name; path = !cur_path; ts = now (); value })
+  if !enabled_flag then begin
+    let s = st () in
+    if observed s then
+      emit_record s (Gauge { name; path = s.cur_path; ts = now (); value })
+  end
+
+(* ---------- isolated collection and merge ---------- *)
+
+type snapshot = event list (* chronological *)
+
+let empty_snapshot = []
+
+let collect f =
+  let outer = st () in
+  let inner = { (fresh_state ()) with capture = Some [] } in
+  Domain.DLS.set state_key inner;
+  let restore () = Domain.DLS.set state_key outer in
+  let r = Fun.protect ~finally:restore f in
+  (r, match inner.capture with Some buf -> List.rev buf | None -> [])
+
+let absorb snap =
+  match snap with
+  | [] -> ()
+  | first :: _ ->
+      let s = st () in
+      let base_path = s.cur_path and base_depth = List.length s.stack in
+      let rebase p =
+        if base_path = "" then p
+        else if p = "" then base_path
+        else base_path ^ "/" ^ p
+      in
+      let ts_of = function
+        | Span_begin { ts; _ } | Span_end { ts; _ } | Count { ts; _ }
+        | Gauge { ts; _ } ->
+            ts
+      in
+      let t0 = ts_of first in
+      let base_ts = now () in
+      let shift ts = base_ts +. (ts -. t0) in
+      List.iter
+        (fun ev ->
+          let ev' =
+            match ev with
+            | Span_begin { name; path; ts; depth } ->
+                Span_begin
+                  {
+                    name;
+                    path = rebase path;
+                    ts = shift ts;
+                    depth = depth + base_depth;
+                  }
+            | Span_end { name; path; ts; dur_s; depth } ->
+                let path = rebase path in
+                bump_span s path dur_s 1;
+                Span_end
+                  { name; path; ts = shift ts; dur_s; depth = depth + base_depth }
+            | Count { name; path; ts; incr; total = _ } ->
+                let path = rebase path in
+                let total = bump_counter s name incr in
+                bump_counter_span s (path, name) incr;
+                Count { name; path; ts = shift ts; incr; total }
+            | Gauge { name; path; ts; value } ->
+                Gauge { name; path = rebase path; ts = shift ts; value }
+          in
+          if observed s then emit_record s ev')
+        snap
 
 (* ---------- sinks ---------- *)
 

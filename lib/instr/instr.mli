@@ -12,9 +12,17 @@
     {!set_enabled}[ false] every entry point is a no-op that performs no
     allocation — the hot-path guard is a single flag test.
 
-    State is global (one process = one instrumented run): libraries can
-    record without threading a handle, exactly like a logger. Not
-    thread-safe; the learner is single-threaded. *)
+    State is {e domain-local} (one domain = one recording context):
+    libraries can record without threading a handle, exactly like a
+    logger, and recording never takes a lock. A fresh domain starts with
+    an empty context — no sinks, no open spans, empty aggregates. Work
+    done in isolation (a worker domain, or any thunk run under
+    {!collect}) is folded back into a parent context with {!absorb},
+    which is the {e only} sanctioned cross-domain hand-off: hand the
+    returned {!snapshot} to the parent and absorb it there. The master
+    switch ({!set_enabled}) and the clock ({!set_clock}) remain
+    process-wide; set them from the main domain before spawning
+    workers. *)
 
 (** {1 Events and sinks} *)
 
@@ -77,6 +85,8 @@ val set_enabled : bool -> unit
 val set_sinks : sink list -> unit
 val add_sink : sink -> unit
 val flush_sinks : unit -> unit
+(** Sinks belong to the calling domain's context; a worker domain sees
+    an empty sink list until it installs its own. *)
 
 val set_clock : (unit -> float) -> unit
 (** Timestamp source in seconds, default [Unix.gettimeofday]. Tests
@@ -132,3 +142,37 @@ val counter_total : string -> int
 
 val counters_by_span : unit -> ((string * string) * int) list
 (** [((span_path, counter_name), total)] pairs, in first-seen order. *)
+
+(** {1 Isolated collection and merge}
+
+    The domain-safe path for fanned-out work: run each unit of work
+    under {!collect} (in any domain), ship the snapshot back, and
+    {!absorb} the snapshots in a deterministic order in the parent.
+    Because each unit records into its own context and merging is
+    explicit, totals after absorption equal the sequential sum whatever
+    the interleaving was. *)
+
+type snapshot
+(** Everything one {!collect} observed: the chronological event log of
+    spans, counters and gauges. Immutable once returned; safe to move
+    across domains. *)
+
+val empty_snapshot : snapshot
+
+val collect : (unit -> 'a) -> 'a * snapshot
+(** [collect f] runs [f] in a {e fresh} recording context — empty span
+    stack (so [f]'s outermost span is a root), empty aggregates, no
+    sinks — and returns [f]'s result with the captured snapshot. The
+    caller's own context is untouched and is restored even if [f]
+    raises (the in-flight snapshot is then lost with the exception).
+    With instrumentation {!set_enabled}[ false] the snapshot is empty. *)
+
+val absorb : snapshot -> unit
+(** [absorb snap] folds a snapshot into the calling domain's context as
+    if the recorded work had just happened here: span paths are re-based
+    under the currently open span, durations and counter totals are
+    added to the aggregates, and the events are re-emitted to this
+    domain's sinks with their relative timing preserved (re-stamped at
+    the absorption time, depths shifted under the open span). Absorbing
+    the per-item snapshots of a parallel stage in item order yields
+    aggregates — and a trace — independent of how many domains ran it. *)

@@ -1,0 +1,139 @@
+exception
+  Task_error of {
+    index : int;
+    label : string;
+    exn : exn;
+    backtrace : string;
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Task_error { index; label; exn; _ } ->
+        Some
+          (Printf.sprintf "Par.Task_error on %s (index %d): %s" label index
+             (Printexc.to_string exn))
+    | _ -> None)
+
+(* Jobs receive the id of the worker domain running them, so callers can
+   attribute work per domain. *)
+type msg = Job of (int -> unit) | Quit
+
+type pool = {
+  n : int;
+  queue : msg Queue.t;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  mutable domains : unit Domain.t list;  (** [] when [n = 1] *)
+  mutable closed : bool;
+}
+
+let jobs t = t.n
+
+let default_jobs () = max 1 (min 8 (Domain.recommended_domain_count ()))
+
+let rec worker_loop pool id =
+  Mutex.lock pool.mutex;
+  while Queue.is_empty pool.queue do
+    Condition.wait pool.nonempty pool.mutex
+  done;
+  let msg = Queue.pop pool.queue in
+  Mutex.unlock pool.mutex;
+  match msg with
+  | Quit -> ()
+  | Job f ->
+      (* [f] never raises: [map] wraps the task body in its own handler *)
+      f id;
+      worker_loop pool id
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Par.create: jobs must be >= 1";
+  let pool =
+    {
+      n = jobs;
+      queue = Queue.create ();
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      domains = [];
+      closed = false;
+    }
+  in
+  if jobs > 1 then
+    pool.domains <-
+      List.init jobs (fun id -> Domain.spawn (fun () -> worker_loop pool id));
+  pool
+
+let shutdown pool =
+  if not pool.closed then begin
+    pool.closed <- true;
+    Mutex.lock pool.mutex;
+    List.iter (fun _ -> Queue.push Quit pool.queue) pool.domains;
+    Condition.broadcast pool.nonempty;
+    Mutex.unlock pool.mutex;
+    List.iter Domain.join pool.domains;
+    pool.domains <- []
+  end
+
+let with_pool ~jobs f =
+  let pool = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+let default_label i = Printf.sprintf "item %d" i
+
+let map_workers ?(labels = default_label) pool f items =
+  if pool.closed then invalid_arg "Par.map: pool is shut down";
+  let n = Array.length items in
+  let results = Array.make n None in
+  let workers = Array.make n 0 in
+  let run_into i worker_id =
+    let r =
+      try Ok (f items.(i))
+      with e ->
+        let bt = Printexc.get_backtrace () in
+        Error (e, bt)
+    in
+    results.(i) <- Some r;
+    workers.(i) <- worker_id
+  in
+  if pool.n = 1 || n <= 1 then
+    (* inline: sequential, index order, caller's domain — the reference
+       schedule every parallel run must reproduce *)
+    for i = 0 to n - 1 do
+      run_into i 0
+    done
+  else begin
+    let remaining = ref n in
+    let all_done = Condition.create () in
+    Mutex.lock pool.mutex;
+    for i = 0 to n - 1 do
+      Queue.push
+        (Job
+           (fun worker_id ->
+             run_into i worker_id;
+             Mutex.lock pool.mutex;
+             decr remaining;
+             if !remaining = 0 then Condition.broadcast all_done;
+             Mutex.unlock pool.mutex))
+        pool.queue
+    done;
+    Condition.broadcast pool.nonempty;
+    while !remaining > 0 do
+      Condition.wait all_done pool.mutex
+    done;
+    Mutex.unlock pool.mutex
+  end;
+  (* deterministic error report: lowest failing index wins *)
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Some (Error (exn, backtrace)) ->
+          raise (Task_error { index = i; label = labels i; exn; backtrace })
+      | _ -> ())
+    results;
+  let out =
+    Array.map
+      (fun r -> match r with Some (Ok v) -> v | _ -> assert false)
+      results
+  in
+  (out, workers)
+
+let map ?labels pool f items = fst (map_workers ?labels pool f items)

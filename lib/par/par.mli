@@ -1,0 +1,62 @@
+(** Fixed-size domain pool with deterministic result ordering.
+
+    The learner's conquer stage is embarrassingly parallel across
+    primary outputs; this module supplies the one primitive it needs:
+    [map] a task function over an item array on [jobs] OCaml 5 domains
+    and get the results back {e in item order}, whatever order the
+    domains finished in. Tasks must be self-contained — they may freely
+    read shared immutable data, but every mutable resource (RNG stream,
+    accounting shard, {!Lr_instr} context) must be owned by the task or
+    merged afterwards by the caller; the pool adds no synchronisation
+    beyond the job queue itself.
+
+    A pool with [jobs = 1] spawns no domains at all: [map] runs the
+    tasks inline, sequentially, in index order — byte-for-byte the
+    execution a non-parallel build would perform. This is what makes
+    "[--jobs N] is bit-identical to [--jobs 1]" testable: both paths run
+    the {e same} task closures, only the schedule differs. *)
+
+type pool
+
+exception
+  Task_error of {
+    index : int;  (** the item whose task raised *)
+    label : string;  (** caller-supplied item label, or ["item <i>"] *)
+    exn : exn;
+    backtrace : string;
+  }
+(** A task exception is caught in the worker, the remaining tasks are
+    allowed to finish, and the {e lowest-index} failure is re-raised in
+    the caller wrapped with its item's index and label. *)
+
+val create : jobs:int -> pool
+(** [create ~jobs] — a pool of [jobs] worker domains ([jobs >= 1];
+    [jobs = 1] spawns none). Raises [Invalid_argument] otherwise. *)
+
+val jobs : pool -> int
+
+val default_jobs : unit -> int
+(** What [--jobs 0] ("auto") resolves to:
+    [Domain.recommended_domain_count ()], capped at 8 — per-output
+    learning saturates well before wider pools pay off. *)
+
+val map : ?labels:(int -> string) -> pool -> ('a -> 'b) -> 'a array -> 'b array
+(** [map pool f items] runs [f items.(i)] for every [i] and returns the
+    results in item order. Blocks until all tasks finish, even when one
+    fails (then raises {!Task_error} for the lowest failing index).
+    Must not be called from inside one of [pool]'s own tasks. *)
+
+val map_workers :
+  ?labels:(int -> string) -> pool -> ('a -> 'b) -> 'a array -> 'b array * int array
+(** Like {!map} but also returns, per item, the index of the worker
+    domain that ran it ([0 .. jobs-1]; always [0] on a 1-job pool) —
+    telemetry for per-domain reporting, not part of any determinism
+    guarantee. *)
+
+val shutdown : pool -> unit
+(** Terminate and join the worker domains. Idempotent. A pool must be
+    shut down before program exit to avoid leaking domains; prefer
+    {!with_pool}. *)
+
+val with_pool : jobs:int -> (pool -> 'a) -> 'a
+(** [with_pool ~jobs f] — create, run [f], always shut down. *)

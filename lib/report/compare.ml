@@ -69,6 +69,12 @@ let entries_of_report v =
   | Some s -> Error ("unknown report schema: " ^ s)
   | None -> Error "not a report: missing schema field"
 
+(* reports written before the field existed were always sequential *)
+let jobs_of_report v =
+  match Option.bind (Json.member "jobs" v) Json.get_int with
+  | Some j -> j
+  | None -> 1
+
 let split_key key =
   match String.index_opt key '/' with
   | Some i ->

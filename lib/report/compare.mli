@@ -17,6 +17,13 @@ val entries_of_report : Lr_instr.Json.t -> (entry list, string) result
 (** Accepts [lr-run-report/v1] (one row) and [lr-bench-report/v1]
     (one row per case x method). *)
 
+val jobs_of_report : Lr_instr.Json.t -> int
+(** The [jobs] field of either schema; 1 when absent (reports written
+    before the field existed were always sequential). The regression
+    gate refuses to compare reports recorded at different parallelism
+    levels — sizes and accuracies would agree, but wall-clock rows
+    would not be like for like. *)
+
 val filter : ?case:string -> ?method_:string -> entry list -> entry list
 (** [case] matches the part before ['/'], [method_] the part after
     (entries without a method — run reports — survive only when no

@@ -1,0 +1,287 @@
+(* Property-based testing over random circuits, covers and vectors.
+
+   A small hand-rolled qcheck-lite: generators are sized (instances grow
+   as a run progresses, so early failures are small to begin with) and
+   every arbitrary carries a shrinker — on a falsified property the
+   harness greedily walks shrink candidates until none fails, then
+   reports the local minimum. No dependency beyond Alcotest for
+   reporting.
+
+   The properties pin down the three data paths the parallel learner
+   leans on hardest: AIG optimization preserves function, the exchange
+   formats round-trip, and the three evaluators (cover, BDD, netlist)
+   agree on random assignments. *)
+
+module Bv = Lr_bitvec.Bv
+module Rng = Lr_bitvec.Rng
+module Cube = Lr_cube.Cube
+module Cover = Lr_cube.Cover
+module N = Lr_netlist.Netlist
+module B = Lr_netlist.Builder
+module Blif = Lr_netlist.Blif
+module Io = Lr_netlist.Io
+module Aig = Lr_aig.Aig
+module Opt = Lr_aig.Opt
+module Aiger = Lr_aig.Aiger
+module Bdd = Lr_bdd.Bdd
+
+(* ---------------- the harness ---------------- *)
+
+type 'a arb = {
+  gen : Rng.t -> int -> 'a;  (** size-driven generator *)
+  shrink : 'a -> 'a list;  (** smaller candidates, most aggressive first *)
+  print : 'a -> string;
+}
+
+(* Greedy shrink: take the first failing candidate, repeat from there.
+   Terminates because every shrinker strictly decreases its measure. *)
+let rec minimize shrink fails x =
+  match List.find_opt fails (shrink x) with
+  | Some y -> minimize shrink fails y
+  | None -> x
+
+let check_prop ?(count = 60) name arb prop =
+  let rng = Rng.create (Hashtbl.hash name) in
+  for i = 1 to count do
+    (* sizes ramp from 1 to ~24 over the run *)
+    let size = 1 + (i * 24 / count) in
+    let x = arb.gen rng size in
+    let fails x = not (try prop x with _ -> false) in
+    if fails x then begin
+      let m = minimize arb.shrink fails x in
+      Alcotest.failf "%s falsified (attempt %d, size %d), minimized to:\n%s"
+        name i size (arb.print m)
+    end
+  done
+
+(* drop element [i] of a list *)
+let drop_nth l i = List.filteri (fun j _ -> j <> i) l
+
+let shrink_list shrink_elt l =
+  let n = List.length l in
+  (* halving first (fast progress), then element drops, then in-place
+     element shrinks *)
+  (if n > 1 then [ List.filteri (fun i _ -> i < n / 2) l ] else [])
+  @ List.init n (fun i -> drop_nth l i)
+  @ List.concat
+      (List.mapi
+         (fun i x ->
+           List.map (fun y -> List.mapi (fun j z -> if i = j then y else z) l)
+             (shrink_elt x))
+         l)
+
+(* ---------------- vectors ---------------- *)
+
+let arb_bv n =
+  {
+    gen = (fun rng _ -> Bv.random rng n);
+    shrink =
+      (fun v ->
+        (* clear one set bit at a time: minimum is all-zero *)
+        List.filter_map
+          (fun i ->
+            if Bv.get v i then begin
+              let w = Bv.copy v in
+              Bv.set w i false;
+              Some w
+            end
+            else None)
+          (List.init n Fun.id));
+    print = Bv.to_string;
+  }
+
+(* ---------------- covers ---------------- *)
+
+let gen_cube rng n =
+  let lits = ref [] in
+  for v = 0 to n - 1 do
+    (* ~2 literals per cube on average keeps cubes satisfiable and wide *)
+    if Rng.int rng n < 2 then lits := (v, Rng.bool rng) :: !lits
+  done;
+  Cube.of_literals n !lits
+
+(* remove one literal at a time: minimum is the universal cube *)
+let shrink_cube c =
+  List.map (fun (v, _) -> Cube.remove c v) (Cube.literals c)
+
+let arb_cover n =
+  {
+    gen =
+      (fun rng size ->
+        let cubes = List.init (1 + Rng.int rng (1 + size)) (fun _ -> gen_cube rng n) in
+        Cover.of_cubes n cubes);
+    shrink =
+      (fun cover ->
+        List.map (Cover.of_cubes n) (shrink_list shrink_cube (Cover.cubes cover)));
+    print = Cover.to_pla;
+  }
+
+(* ---------------- AIGs, from a recipe ---------------- *)
+
+(* An AIG is generated from a pure-data recipe — a list of (kind, a, b)
+   rows, each adding one gate over the literals available so far — so
+   shrinking is just list surgery on the recipe and rebuilding. *)
+type recipe = { ni : int; no : int; ops : (int * int * int) list }
+
+let build_aig { ni; no; ops } =
+  let aig = Aig.create ~num_inputs:ni ~num_outputs:no in
+  let lits = ref (Array.to_list (Array.init ni (Aig.input_lit aig))) in
+  let nlits = ref ni in
+  let pick k =
+    let l = List.nth !lits (k mod !nlits) in
+    if k land 1 = 0 then l else Aig.not_lit l
+  in
+  List.iter
+    (fun (kind, a, b) ->
+      let f =
+        match kind mod 3 with
+        | 0 -> Aig.and_lit
+        | 1 -> Aig.or_lit
+        | _ -> Aig.xor_lit
+      in
+      let l = f aig (pick a) (pick b) in
+      lits := l :: !lits;
+      incr nlits)
+    ops;
+  for o = 0 to no - 1 do
+    Aig.set_output aig o (pick (o * 7 + 3))
+  done;
+  aig
+
+let arb_recipe =
+  {
+    gen =
+      (fun rng size ->
+        let ni = 2 + Rng.int rng 6 and no = 1 + Rng.int rng 4 in
+        let ops =
+          List.init (Rng.int rng (2 * size + 2)) (fun _ ->
+              (Rng.int rng 3, Rng.int rng 1000, Rng.int rng 1000))
+        in
+        { ni; no; ops })
+    (* shrink only the gate list; arities stay, keeping outputs valid *);
+    shrink =
+      (fun r -> List.map (fun ops -> { r with ops }) (shrink_list (fun _ -> []) r.ops));
+    print =
+      (fun r ->
+        Printf.sprintf "recipe ni=%d no=%d ops=[%s]" r.ni r.no
+          (String.concat "; "
+             (List.map (fun (k, a, b) -> Printf.sprintf "%d,%d,%d" k a b) r.ops)));
+  }
+
+(* the same recipe as a netlist, for the BLIF/native round-trips *)
+let build_netlist r =
+  let aig = build_aig r in
+  Aig.to_netlist
+    ~input_names:(Array.init r.ni (Printf.sprintf "i%d"))
+    ~output_names:(Array.init r.no (Printf.sprintf "o%d"))
+    aig
+
+(* random 64-assignment word patterns for AIG simulation *)
+let words rng ni = Array.init ni (fun _ -> Rng.bits64 rng)
+
+(* ---------------- properties ---------------- *)
+
+let prop_compress_preserves () =
+  check_prop "Opt.compress preserves function" arb_recipe (fun r ->
+      let aig = build_aig r in
+      let rng = Rng.create 7 in
+      let optimized = Opt.compress ~max_rounds:2 ~fraig_words:4 ~rng aig in
+      Aig.num_ands optimized <= Aig.num_ands aig
+      && List.for_all
+           (fun _ ->
+             let w = words rng r.ni in
+             Aig.simulate aig w = Aig.simulate optimized w)
+           [ (); (); () ])
+
+let prop_blif_roundtrip () =
+  check_prop "BLIF write/read round-trip" arb_recipe (fun r ->
+      let n = build_netlist r in
+      let n' = Blif.read (Blif.write n) in
+      N.input_names n = N.input_names n'
+      && N.output_names n = N.output_names n'
+      &&
+      let rng = Rng.create 11 in
+      List.for_all
+        (fun _ ->
+          let a = Bv.random rng r.ni in
+          Bv.equal (N.eval n a) (N.eval n' a))
+        (List.init 16 Fun.id))
+
+let prop_native_roundtrip () =
+  check_prop "native format write/read round-trip" arb_recipe (fun r ->
+      let n = build_netlist r in
+      let n' = Io.read (Io.write n) in
+      N.input_names n = N.input_names n'
+      && N.output_names n = N.output_names n'
+      && N.size n = N.size n'
+      &&
+      let rng = Rng.create 13 in
+      List.for_all
+        (fun _ ->
+          let a = Bv.random rng r.ni in
+          Bv.equal (N.eval n a) (N.eval n' a))
+        (List.init 16 Fun.id))
+
+let prop_aiger_roundtrip () =
+  check_prop "AIGER write/read round-trip (structural)" arb_recipe (fun r ->
+      let aig = Aig.compact (build_aig r) in
+      let aig' = Aiger.read (Aiger.write aig) in
+      Aig.num_inputs aig = Aig.num_inputs aig'
+      && Aig.num_outputs aig = Aig.num_outputs aig'
+      && Aig.num_ands aig = Aig.num_ands aig'
+      &&
+      let rng = Rng.create 17 in
+      List.for_all
+        (fun _ ->
+          let w = words rng r.ni in
+          Aig.simulate aig w = Aig.simulate aig' w)
+        (List.init 4 Fun.id))
+
+(* one random-cover property over three evaluators: the cover itself,
+   its BDD, and the SOP netlist the learner would synthesise from it *)
+let prop_evaluators_agree () =
+  let n = 8 in
+  check_prop "cover/BDD/netlist evaluation agreement" (arb_cover n)
+    (fun cover ->
+      let man = Bdd.man ~nvars:n in
+      let node = Bdd.of_cover man cover in
+      let circuit =
+        N.create
+          ~input_names:(Array.init n (Printf.sprintf "x%d"))
+          ~output_names:[| "f" |]
+      in
+      let vars = Array.init n (N.input circuit) in
+      N.set_output circuit 0 (B.sop circuit vars cover);
+      let rng = Rng.create 23 in
+      List.for_all
+        (fun _ ->
+          let a = Bv.random rng n in
+          let want = Cover.eval cover a in
+          Bdd.eval man node a = want
+          && Bv.get (N.eval circuit a) 0 = want)
+        (List.init 32 Fun.id))
+
+(* the harness must actually shrink: a seeded failing property ends at a
+   local minimum, here the empty gate list *)
+let test_shrinking_works () =
+  let minimal = ref None in
+  (try
+     check_prop ~count:5 "always-false canary" arb_recipe (fun r ->
+         minimal := Some r;
+         false)
+   with _ -> ());
+  match !minimal with
+  | Some r -> Alcotest.(check int) "shrunk to no gates" 0 (List.length r.ops)
+  | None -> Alcotest.fail "property was never exercised"
+
+let tests =
+  [
+    Alcotest.test_case "Opt.compress preserves function" `Quick
+      prop_compress_preserves;
+    Alcotest.test_case "BLIF round-trip" `Quick prop_blif_roundtrip;
+    Alcotest.test_case "native round-trip" `Quick prop_native_roundtrip;
+    Alcotest.test_case "AIGER round-trip" `Quick prop_aiger_roundtrip;
+    Alcotest.test_case "evaluator agreement" `Quick prop_evaluators_agree;
+    Alcotest.test_case "shrinking reaches a minimum" `Quick
+      test_shrinking_works;
+  ]

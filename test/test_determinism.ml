@@ -1,0 +1,96 @@
+(* The parallel learner's headline invariant: for any case and seed,
+   [jobs = n] produces a bit-identical circuit, an identical query
+   count, and identical per-output reports to [jobs = 1]. Exercised on
+   three benchmarks of different shapes (template-heavy DATA, exhaustive
+   DIAG, decision-tree NEQ) at two seeds; set LR_DETERMINISM_ALL=1 to
+   sweep every Cases benchmark (CI runs that leg nightly-style, the
+   default keeps `dune runtest` quick). *)
+
+module Rng = Lr_bitvec.Rng
+module Io = Lr_netlist.Io
+module Cases = Lr_cases.Cases
+module Eval = Lr_eval.Eval
+module Config = Logic_regression.Config
+module Learner = Logic_regression.Learner
+
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let fast =
+  {
+    Config.default with
+    Config.support_rounds = 192;
+    node_rounds = 32;
+    max_tree_nodes = 512;
+    optimize_rounds = 1;
+    fraig_words = 4;
+    template_samples = 32;
+  }
+
+let learn_with ~jobs ~seed name =
+  let spec = Cases.find name in
+  let box = Cases.blackbox ~budget:150_000 spec in
+  let report = Learner.learn ~config:{ fast with Config.seed; jobs } box in
+  let accuracy =
+    Eval.accuracy ~count:2000 ~rng:(Rng.create (seed + 7919))
+      ~golden:(Cases.build spec) ~candidate:report.Learner.circuit ()
+  in
+  (Io.write report.Learner.circuit, accuracy, report)
+
+let assert_jobs_invariant ?(jobs_levels = [ 2; 4 ]) name seed =
+  let base_net, base_acc, base = learn_with ~jobs:1 ~seed name in
+  List.iter
+    (fun jobs ->
+      let ctx = Printf.sprintf "%s seed=%d jobs=%d" name seed jobs in
+      let net, acc, r = learn_with ~jobs ~seed name in
+      check_str (ctx ^ ": bit-identical netlist") base_net net;
+      check_int (ctx ^ ": equal queries") base.Learner.queries
+        r.Learner.queries;
+      Alcotest.(check (float 0.0)) (ctx ^ ": equal accuracy") base_acc acc;
+      (* the whole attribution, not just the total *)
+      Alcotest.(check (list (pair string int)))
+        (ctx ^ ": equal phase queries")
+        base.Learner.phase_queries r.Learner.phase_queries;
+      check_int (ctx ^ ": same outputs learned")
+        (List.length base.Learner.outputs)
+        (List.length r.Learner.outputs);
+      List.iter2
+        (fun (b : Learner.output_report) (o : Learner.output_report) ->
+          check_str
+            (Printf.sprintf "%s: PO %s same method" ctx b.Learner.output_name)
+            (Learner.method_to_string b.Learner.method_used)
+            (Learner.method_to_string o.Learner.method_used);
+          check_int
+            (Printf.sprintf "%s: PO %s same support" ctx b.Learner.output_name)
+            b.Learner.support_size o.Learner.support_size;
+          check_int
+            (Printf.sprintf "%s: PO %s same cubes" ctx b.Learner.output_name)
+            b.Learner.cubes o.Learner.cubes)
+        base.Learner.outputs r.Learner.outputs;
+      check_int (ctx ^ ": reported jobs") jobs r.Learner.jobs)
+    jobs_levels
+
+(* diverse trio: templates, exhaustive conquest, FBDT trees *)
+let default_trio = [ "case_12"; "case_8"; "case_5" ]
+
+let test_trio_seed seed () =
+  List.iter (fun name -> assert_jobs_invariant name seed) default_trio
+
+let test_full_sweep () =
+  match Sys.getenv_opt "LR_DETERMINISM_ALL" with
+  | None | Some "" ->
+      () (* opt-in: the full sweep learns every case three times *)
+  | Some _ ->
+      List.iter
+        (fun spec -> assert_jobs_invariant ~jobs_levels:[ 4 ] spec.Cases.name 1)
+        Cases.specs
+
+let tests =
+  [
+    Alcotest.test_case "jobs 1/2/4 invariant, seed 1" `Quick
+      (test_trio_seed 1);
+    Alcotest.test_case "jobs 1/2/4 invariant, seed 42" `Quick
+      (test_trio_seed 42);
+    Alcotest.test_case "full 20-case sweep (LR_DETERMINISM_ALL)" `Slow
+      test_full_sweep;
+  ]

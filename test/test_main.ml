@@ -32,4 +32,7 @@ let () =
       ("instr", Test_instr.tests);
       ("report", Test_report.tests);
       ("check", Test_check.tests);
+      ("prop", Prop.tests);
+      ("par", Test_par.tests);
+      ("determinism", Test_determinism.tests);
     ]
