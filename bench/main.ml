@@ -31,6 +31,12 @@ let seed_base = ref 1
 let time_budget = ref None
 let check_level = ref Config.Off
 let jobs = ref 1
+let fault_spec = ref None
+let retry_attempts = ref 1
+
+(* accumulated across every learner run so the JSON report can flag
+   best-effort circuits: the regression gate refuses degraded reports *)
+let degraded_total = ref 0
 
 type scale = {
   support_rounds : int;
@@ -78,6 +84,8 @@ let ours_config preset scale seed =
     time_budget_s = !time_budget;
     check_level = !check_level;
     jobs = !jobs;
+    retry = Lr_faults.Faults.retry !retry_attempts;
+    faults = !fault_spec;
   }
 
 let run_all_methods scale spec =
@@ -91,8 +99,9 @@ let run_all_methods scale spec =
   let s = !seed_base in
   let contest =
     m (fun box ->
-        (Learner.learn ~config:(ours_config Config.contest scale s) box)
-          .Learner.circuit)
+        let r = Learner.learn ~config:(ours_config Config.contest scale s) box in
+        degraded_total := !degraded_total + r.Learner.degraded;
+        r.Learner.circuit)
   in
   let sop =
     m (fun box ->
@@ -108,8 +117,11 @@ let run_all_methods scale spec =
   in
   let improved =
     m (fun box ->
-        (Learner.learn ~config:(ours_config Config.improved scale (s + 3)) box)
-          .Learner.circuit)
+        let r =
+          Learner.learn ~config:(ours_config Config.improved scale (s + 3)) box
+        in
+        degraded_total := !degraded_total + r.Learner.degraded;
+        r.Learner.circuit)
   in
   (contest, sop, id3, improved)
 
@@ -455,6 +467,7 @@ let json_of_rows rows =
       (* baselines must not be compared across parallelism levels: the
          regression gate keys on this *)
       ("jobs", Json.Int !jobs);
+      ("degraded", Json.Int !degraded_total);
       ( "rows",
         Json.List
           (List.map
@@ -497,6 +510,8 @@ let () =
   let budget_s, args = extract "--time-budget" args in
   let check, args = extract "--check" args in
   let jobs_v, args = extract "--jobs" args in
+  let faults_v, args = extract "--faults" args in
+  let retry_v, args = extract "--retry" args in
   let args =
     List.filter (fun a -> a <> "--quick" && a <> "--metrics") args
   in
@@ -532,6 +547,22 @@ let () =
       | Some l -> check_level := l
       | None ->
           Printf.eprintf "bad --check value: %s (use off|structural|full)\n" v;
+          exit 1)
+  | None -> ());
+  (match faults_v with
+  | Some v -> (
+      match Lr_faults.Faults.load v with
+      | Ok spec -> fault_spec := Some spec
+      | Error msg ->
+          Printf.eprintf "bad --faults value: %s\n" msg;
+          exit 1)
+  | None -> ());
+  (match retry_v with
+  | Some v -> (
+      match int_of_string_opt v with
+      | Some r when r >= 1 -> retry_attempts := r
+      | _ ->
+          Printf.eprintf "bad --retry value: %s\n" v;
           exit 1)
   | None -> ());
   Instr.set_sinks

@@ -19,6 +19,7 @@ module Gcstat = Lr_report.Gcstat
 module History = Lr_report.History
 module Heartbeat = Lr_report.Heartbeat
 module Finding = Lr_check.Finding
+module Faults = Lr_faults.Faults
 
 open Cmdliner
 
@@ -133,6 +134,35 @@ let time_budget_arg =
   Arg.(
     value & opt (some float) None & info [ "time-budget" ] ~docv:"SECS" ~doc)
 
+let faults_arg =
+  let doc =
+    "Arm deterministic fault injection on the black box. $(docv) is a \
+     compact schedule (comma-separated key=value: seed=N, fail=P, \
+     burst=N, latency=P:SECS, flip=BIT, stuck=BIT:0|1, at=ONSET, \
+     for=QUERIES, exhaust=N) or the path of a schedule file (JSON \
+     lr-fault-schedule/v1 or compact form). The schedule is seeded and \
+     replayed per output, so runs stay reproducible at any --jobs. \
+     Outputs whose queries keep failing past --retry degrade to \
+     constants (method degraded-fault) and the exit code is 3."
+  in
+  Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC" ~doc)
+
+let retry_arg =
+  let doc =
+    "Total attempts per query batch under fault injection: $(b,1) (the \
+     default) makes the first injected failure final for the output \
+     being learned; higher values retry with exponential backoff in \
+     injected-clock time."
+  in
+  Arg.(value & opt int 1 & info [ "retry" ] ~docv:"ATTEMPTS" ~doc)
+
+let retry_backoff_arg =
+  let doc =
+    "Base backoff before the first retry, in injected-clock seconds \
+     (doubles per further retry; never sleeps for real)."
+  in
+  Arg.(value & opt float 0.001 & info [ "retry-backoff" ] ~docv:"SECS" ~doc)
+
 (* fail before the (possibly long) run, with a clean message instead of
    an uncaught Sys_error at the end of it *)
 let open_out_or_die ~flag path =
@@ -210,13 +240,19 @@ let describe_matches oc m =
         | Some _ -> "   [hidden: via propagation cube]"))
     m.T.comparators
 
-let json_of_run ~case ~seed ~time_budget ~eval_patterns ~accuracy report =
+let json_of_run ~case ~seed ~time_budget ~eval_patterns ~accuracy ~faults
+    report =
   let c = report.Learner.circuit in
   let stats = N.stats c in
   let gc_fields name =
     match List.assoc_opt name report.Learner.phase_gc with
     | Some g -> ( match Gcstat.to_json g with Json.Obj l -> l | _ -> [])
     | None -> []
+  in
+  let retries_of name =
+    match List.assoc_opt name report.Learner.phase_retries with
+    | Some r -> r
+    | None -> 0
   in
   let phases =
     List.map
@@ -231,6 +267,7 @@ let json_of_run ~case ~seed ~time_budget ~eval_patterns ~accuracy report =
              ("name", Json.String name);
              ("seconds", Json.Float seconds);
              ("queries", Json.Int queries);
+             ("retries", Json.Int (retries_of name));
            ]
           @ gc_fields name))
       report.Learner.phase_times
@@ -243,6 +280,7 @@ let json_of_run ~case ~seed ~time_budget ~eval_patterns ~accuracy report =
               ("name", Json.String "other");
               ("seconds", Json.Float 0.0);
               ("queries", Json.Int q);
+              ("retries", Json.Int (retries_of "other"));
             ];
         ]
     | None -> []
@@ -281,6 +319,16 @@ let json_of_run ~case ~seed ~time_budget ~eval_patterns ~accuracy report =
       ( "time_budget_s",
         match time_budget with Some b -> Json.Float b | None -> Json.Null );
       ("budget_exceeded", Json.Bool report.Learner.budget_exceeded);
+      ( "faults",
+        match faults with
+        | Some s -> Json.String (Faults.to_string s)
+        | None -> Json.Null );
+      ( "faults_seen",
+        Json.Obj
+          (List.map (fun (k, v) -> (k, Json.Int v)) report.Learner.faults_seen)
+      );
+      ("retries", Json.Int report.Learner.retries);
+      ("degraded", Json.Int report.Learner.degraded);
       ( "check_level",
         Json.String (Config.check_level_string report.Learner.check_level) );
       ("checks_verified", Json.Int report.Learner.checks_verified);
@@ -326,7 +374,21 @@ let print_phase_breakdown oc report =
 
 let learn_run case preset seed budget eval_patterns support_rounds no_templates
     no_grouping out trace metrics json history heartbeat time_budget check jobs
-    =
+    faults retry_attempts retry_backoff =
+  let fault_spec =
+    match faults with
+    | None -> None
+    | Some arg -> (
+        match Faults.load arg with
+        | Ok spec -> Some spec
+        | Error msg ->
+            Printf.eprintf "error: bad --faults: %s\n" msg;
+            exit 1)
+  in
+  if retry_attempts < 1 then begin
+    Printf.eprintf "error: --retry must be >= 1\n";
+    exit 1
+  end;
   let config =
     {
       preset with
@@ -338,6 +400,8 @@ let learn_run case preset seed budget eval_patterns support_rounds no_templates
       time_budget_s = time_budget;
       check_level = check;
       jobs;
+      retry = Faults.retry ~backoff_s:retry_backoff retry_attempts;
+      faults = fault_spec;
     }
   in
   let box, golden = resolve_box ~budget case in
@@ -372,6 +436,21 @@ let learn_run case preset seed budget eval_patterns support_rounds no_templates
   if report.Learner.budget_exceeded then
     Printf.fprintf hout
       "  NOTE: time budget exceeded, remaining work was skipped\n";
+  (match config.Config.faults with
+  | Some spec ->
+      Printf.fprintf hout "  faults:  %s\n" (Faults.to_string spec);
+      Printf.fprintf hout "  seen:    %s, %d retried\n"
+        (String.concat ", "
+           (List.map
+              (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+              report.Learner.faults_seen))
+        report.Learner.retries
+  | None -> ());
+  if report.Learner.degraded > 0 then
+    Printf.fprintf hout
+      "  NOTE: %d output(s) degraded to constants after unrecoverable \
+       query faults\n"
+      report.Learner.degraded;
   print_phase_breakdown hout report;
   (match report.Learner.matches with
   | Some m when m.T.linears <> [] || m.T.comparators <> [] ->
@@ -412,7 +491,8 @@ let learn_run case preset seed budget eval_patterns support_rounds no_templates
   in
   (if json <> None || history <> None then
      let report_json =
-       json_of_run ~case ~seed ~time_budget ~eval_patterns ~accuracy report
+       json_of_run ~case ~seed ~time_budget ~eval_patterns ~accuracy
+         ~faults:fault_spec report
      in
      (match (json, json_oc) with
      | Some "-", _ -> print_endline (Json.to_string report_json)
@@ -435,7 +515,9 @@ let learn_run case preset seed budget eval_patterns support_rounds no_templates
       Io.write_file c path;
       Printf.fprintf hout "written to %s\n" path
   | None -> ());
-  0
+  (* all artifacts are written first: a degraded run is still a run, the
+     distinct exit code just refuses to pass for a healthy one *)
+  if report.Learner.degraded > 0 then 3 else 0
 
 let learn_cmd =
   let doc = "learn a circuit from a black-box case" in
@@ -445,7 +527,8 @@ let learn_cmd =
       const learn_run $ case_pos $ preset_arg $ seed_arg $ budget_arg
       $ eval_arg $ support_rounds_arg $ no_templates_arg $ no_grouping_arg
       $ out_arg $ trace_arg $ metrics_arg $ json_arg $ history_arg
-      $ heartbeat_arg $ time_budget_arg $ check_arg $ jobs_arg)
+      $ heartbeat_arg $ time_budget_arg $ check_arg $ jobs_arg $ faults_arg
+      $ retry_arg $ retry_backoff_arg)
 
 (* ---------- baseline ---------- *)
 

@@ -152,13 +152,25 @@ let max_time_arg =
 let check_run old_path new_path case method_ max_gate min_acc max_time =
   (* refuse cross-parallelism comparisons outright: the time columns
      would not be like for like *)
-  let old_jobs = Compare.jobs_of_report (load_report old_path)
-  and new_jobs = Compare.jobs_of_report (load_report new_path) in
+  let old_report = load_report old_path and new_report = load_report new_path in
+  let old_jobs = Compare.jobs_of_report old_report
+  and new_jobs = Compare.jobs_of_report new_report in
   if old_jobs <> new_jobs then
     die
       "jobs mismatch: %s ran with jobs=%d, %s with jobs=%d — record a \
        baseline at the same parallelism level"
       old_path old_jobs new_path new_jobs;
+  (* likewise refuse degraded runs: outputs emitted as best-effort
+     constants after query faults make size/accuracy incomparable *)
+  List.iter
+    (fun (path, report) ->
+      let d = Compare.degraded_of_report report in
+      if d > 0 then
+        die
+          "%s is a degraded run (%d output(s) gave up on query faults) — \
+           record a fault-free baseline before gating"
+          path d)
+    [ (old_path, old_report); (new_path, new_report) ];
   let deltas, only_old, only_new =
     Compare.join (entries ?case ?method_ old_path) (entries ?case ?method_ new_path)
   in

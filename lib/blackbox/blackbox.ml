@@ -2,6 +2,7 @@ module Bv = Lr_bitvec.Bv
 module N = Lr_netlist.Netlist
 module Instr = Lr_instr.Instr
 module Histogram = Lr_report.Histogram
+module Faults = Lr_faults.Faults
 
 type provider =
   | Circuit of N.t
@@ -30,6 +31,12 @@ type t = {
   by_span : (string, int ref) Hashtbl.t;
   mutable span_order : string list;  (** first-seen attribution keys *)
   latency : Histogram.t;  (** per-query latency, batch-mean attributed *)
+  mutable faults : Faults.t option;
+      (** fault-injection stream; [None] = reliable oracle *)
+  mutable retry : Faults.retry;  (** policy applied to injected failures *)
+  mutable retries : int;
+  retries_by_span : (string, int ref) Hashtbl.t;
+  mutable retry_span_order : string list;
 }
 
 let make ?budget ?deadline_s provider ~input_names ~output_names =
@@ -41,10 +48,15 @@ let make ?budget ?deadline_s provider ~input_names ~output_names =
     deadline_s;
     strict = false;
     used = 0;
-    started_at = Unix.gettimeofday ();
+    started_at = Instr.now ();
     by_span = Hashtbl.create 16;
     span_order = [];
     latency = Histogram.create ();
+    faults = None;
+    retry = Faults.no_retry;
+    retries = 0;
+    retries_by_span = Hashtbl.create 8;
+    retry_span_order = [];
   }
 
 (* A shard shares the parent's (immutable, thread-safe) provider and
@@ -52,8 +64,12 @@ let make ?budget ?deadline_s provider ~input_names ~output_names =
    query concurrently without racing on counters; the parent folds the
    shard back with [absorb]. The deadline clock is inherited (a wall
    clock is global by nature); the query budget is the shard's own
-   slice, decided by the caller. *)
-let shard ?budget ?(strict = false) t =
+   slice, decided by the caller. A faulty parent hands the shard a
+   fresh fault stream for [fault_key] (default: the parent's own key) —
+   the schedule is a pure function of (spec, key, batch), so the shard
+   replays exactly the faults a sequential run would have charged to
+   that key, whichever domain it lands on. *)
+let shard ?budget ?(strict = false) ?fault_key t =
   {
     t with
     budget;
@@ -62,6 +78,15 @@ let shard ?budget ?(strict = false) t =
     by_span = Hashtbl.create 16;
     span_order = [];
     latency = Histogram.create ();
+    faults =
+      Option.map
+        (fun f ->
+          Faults.instantiate (Faults.spec f)
+            ~key:(Option.value fault_key ~default:(Faults.key f)))
+        t.faults;
+    retries = 0;
+    retries_by_span = Hashtbl.create 8;
+    retry_span_order = [];
   }
 
 let absorb t s =
@@ -75,6 +100,19 @@ let absorb t s =
           Hashtbl.add t.by_span key (ref n);
           t.span_order <- key :: t.span_order)
     (List.rev s.span_order);
+  List.iter
+    (fun key ->
+      let n = !(Hashtbl.find s.retries_by_span key) in
+      match Hashtbl.find_opt t.retries_by_span key with
+      | Some r -> r := !r + n
+      | None ->
+          Hashtbl.add t.retries_by_span key (ref n);
+          t.retry_span_order <- key :: t.retry_span_order)
+    (List.rev s.retry_span_order);
+  t.retries <- t.retries + s.retries;
+  (match (t.faults, s.faults) with
+  | Some into, Some src -> Faults.absorb ~into src
+  | _ -> ());
   Histogram.merge ~into:t.latency s.latency
 
 let of_netlist ?budget ?deadline_s c =
@@ -88,6 +126,13 @@ let num_inputs t = Array.length t.input_names
 let num_outputs t = Array.length t.output_names
 let input_names t = t.input_names
 let output_names t = t.output_names
+
+let set_faults ?(key = -1) t spec =
+  t.faults <- Option.map (fun s -> Faults.instantiate s ~key) spec
+
+let faults_spec t = Option.map Faults.spec t.faults
+let set_retry t retry = t.retry <- retry
+let retry_policy t = t.retry
 
 let check_width t a =
   if Bv.length a <> num_inputs t then
@@ -109,33 +154,87 @@ let attribute t n =
       t.span_order <- key :: t.span_order);
   Instr.count "queries" n
 
+let bump_retries t n =
+  t.retries <- t.retries + n;
+  let key = Instr.current_span_name () in
+  (match Hashtbl.find_opt t.retries_by_span key with
+  | Some r -> r := !r + n
+  | None ->
+      Hashtbl.add t.retries_by_span key (ref n);
+      t.retry_span_order <- key :: t.retry_span_order);
+  Instr.count "query.retries" n
+
+let run_provider t patterns =
+  match t.provider with
+  | Circuit c -> N.eval_many c patterns
+  | Function f -> Array.map f patterns
+
+(* Injected failures and the retry policy around them. A failed attempt
+   consumes no budget and is not attributed as a query: retrying leaves
+   [queries_used] — and therefore the whole learned circuit — exactly
+   what a fault-free run records, which is the transparency property the
+   chaos tests pin down. Backoff advances the injected clock instead of
+   sleeping, so deadlines and latency percentiles see the stall but the
+   process never blocks. *)
+let rec faulted_batch t f patterns ~n ~attempt =
+  if Faults.attempt_fails f ~attempt then
+    if attempt + 1 >= max 1 t.retry.Faults.max_attempts then
+      raise
+        (Faults.Query_failed
+           {
+             key = Faults.key f;
+             ordinal = t.used;
+             attempts = attempt + 1;
+           })
+    else begin
+      bump_retries t 1;
+      Instr.advance_clock (Faults.backoff_delay t.retry ~attempt);
+      faulted_batch t f patterns ~n ~attempt:(attempt + 1)
+    end
+  else begin
+    attribute t n;
+    let t0 = Instr.now () in
+    let r = run_provider t patterns in
+    Instr.advance_clock (Faults.spike f);
+    let r = Faults.commit f r in
+    Histogram.add_n t.latency ((Instr.now () -. t0) /. float_of_int n) n;
+    r
+  end
+
 (* The clock is [Instr.now] so tests with an injected clock see
    deterministic latencies; a batch charges its mean per-query latency
    once per member, keeping the histogram's weight equal to the query
-   count while costing only two clock reads per call. *)
-let query t a =
-  check_width t a;
-  attribute t 1;
-  let t0 = Instr.now () in
-  let r =
-    match t.provider with Circuit c -> N.eval c a | Function f -> f a
-  in
-  Histogram.add t.latency (Instr.now () -. t0);
-  r
-
+   count while costing only two clock reads per call. An empty batch is
+   a complete no-op — it must not touch the attribution table or the
+   histogram, or shard absorption would merge phantom zero-weight
+   entries. *)
 let query_many t patterns =
-  Array.iter (check_width t) patterns;
   let n = Array.length patterns in
-  attribute t n;
-  let t0 = Instr.now () in
-  let r =
-    match t.provider with
-    | Circuit c -> N.eval_many c patterns
-    | Function f -> Array.map f patterns
-  in
-  if n > 0 then
-    Histogram.add_n t.latency ((Instr.now () -. t0) /. float_of_int n) n;
-  r
+  if n = 0 then [||]
+  else begin
+    Array.iter (check_width t) patterns;
+    match t.faults with
+    | Some f -> faulted_batch t f patterns ~n ~attempt:0
+    | None ->
+        attribute t n;
+        let t0 = Instr.now () in
+        let r = run_provider t patterns in
+        Histogram.add_n t.latency ((Instr.now () -. t0) /. float_of_int n) n;
+        r
+  end
+
+let query t a =
+  match t.faults with
+  | Some _ -> (query_many t [| a |]).(0)
+  | None ->
+      check_width t a;
+      attribute t 1;
+      let t0 = Instr.now () in
+      let r =
+        match t.provider with Circuit c -> N.eval c a | Function f -> f a
+      in
+      Histogram.add t.latency (Instr.now () -. t0);
+      r
 
 let queries_used t = t.used
 let budget t = t.budget
@@ -144,17 +243,35 @@ let query_latency t = t.latency
 let queries_by_span t =
   List.rev_map (fun k -> (k, !(Hashtbl.find t.by_span k))) t.span_order
 
+let retries_used t = t.retries
+
+let retries_by_span t =
+  List.rev_map
+    (fun k -> (k, !(Hashtbl.find t.retries_by_span k)))
+    t.retry_span_order
+
+let faults_seen t =
+  match t.faults with Some f -> Faults.seen f | None -> []
+
 let exhausted t =
   (match t.budget with Some b -> t.used >= b | None -> false)
-  || match t.deadline_s with
-     | Some d -> Unix.gettimeofday () -. t.started_at >= d
-     | None -> false
+  || (match t.deadline_s with
+     | Some d -> Instr.now () -. t.started_at >= d
+     | None -> false)
+  || match t.faults with Some f -> Faults.exhausted f | None -> false
 
 let reset_accounting t =
   t.used <- 0;
-  t.started_at <- Unix.gettimeofday ();
+  t.started_at <- Instr.now ();
   Hashtbl.reset t.by_span;
   t.span_order <- [];
-  Histogram.clear t.latency
+  Histogram.clear t.latency;
+  t.retries <- 0;
+  Hashtbl.reset t.retries_by_span;
+  t.retry_span_order <- [];
+  t.faults <-
+    Option.map
+      (fun f -> Faults.instantiate (Faults.spec f) ~key:(Faults.key f))
+      t.faults
 
 let golden t = match t.provider with Circuit c -> Some c | Function _ -> None

@@ -9,7 +9,18 @@
     deterministic query budget (and optionally a wall-clock deadline), so
     runs are reproducible; exceeding the budget never fails a query — the
     learner is expected to poll {!exhausted}, mirroring the "TimeLimit is
-    exceeded" test of Algorithm 2. *)
+    exceeded" test of Algorithm 2.
+
+    A box is a {e reliable} oracle by default. {!set_faults} arms it with
+    a deterministic {!Lr_faults.Faults} schedule — transient failures,
+    latency spikes, corrupted output bits, premature exhaustion — and
+    {!set_retry} sets the policy applied to injected failures: each
+    failed attempt backs off in injected-clock time and retries, and only
+    when the policy is spent does {!Lr_faults.Faults.Query_failed} reach
+    the caller. Failed attempts consume no budget and are not attributed
+    as queries, so a run whose faults are all outlasted by retries is
+    bit-identical — circuit, query counts, attribution — to a fault-free
+    run. *)
 
 type t
 
@@ -38,11 +49,48 @@ val input_names : t -> string array
 val output_names : t -> string array
 
 val query : t -> Lr_bitvec.Bv.t -> Lr_bitvec.Bv.t
-(** One full assignment in, one full assignment out. Counts 1 query. *)
+(** One full assignment in, one full assignment out. Counts 1 query.
+    On a faulty box, raises {!Lr_faults.Faults.Query_failed} once the
+    retry policy is spent on an injected failure. *)
 
 val query_many : t -> Lr_bitvec.Bv.t array -> Lr_bitvec.Bv.t array
 (** Batched queries (word-parallel when the box wraps a netlist).
-    Counts [Array.length] queries. *)
+    Counts [Array.length] queries. An empty batch is a complete no-op:
+    nothing is counted, attributed or timed. On a faulty box, raises
+    {!Lr_faults.Faults.Query_failed} once the retry policy is spent. *)
+
+(** {1 Fault injection and retries}
+
+    The chaos-testing hooks: a seeded {!Lr_faults.Faults.spec} makes the
+    box behave like the unreliable industrial generator of the contest
+    setting, deterministically. *)
+
+val set_faults : ?key:int -> t -> Lr_faults.Faults.spec option -> unit
+(** Arm (or disarm, with [None]) fault injection. [key] (default [-1])
+    identifies this box's fault stream; {!shard} derives per-subproblem
+    streams from it. Installing a spec resets the stream's cursor and
+    counters. *)
+
+val faults_spec : t -> Lr_faults.Faults.spec option
+
+val set_retry : t -> Lr_faults.Faults.retry -> unit
+(** Policy for injected failures (default {!Lr_faults.Faults.no_retry}:
+    the first failure is fatal). Backoff advances the injected clock
+    ({!Lr_instr.Instr.advance_clock}), never sleeps. *)
+
+val retry_policy : t -> Lr_faults.Faults.retry
+
+val retries_used : t -> int
+(** Failed attempts that were retried (successful or not, exhausted
+    attempts past the first are not retries). 0 on a reliable box. *)
+
+val retries_by_span : t -> (string * int) list
+(** Per-phase retry attribution, same keying and ordering rules as
+    {!queries_by_span}; sums to {!retries_used}. *)
+
+val faults_seen : t -> (string * int) list
+(** The fault stream's counters ({!Lr_faults.Faults.seen}), including
+    everything absorbed from shards; [[]] on a reliable box. *)
 
 val queries_used : t -> int
 val budget : t -> int option
@@ -63,19 +111,22 @@ val queries_by_span : t -> (string * int) list
     the per-phase query breakdown of its report. *)
 
 val exhausted : t -> bool
-(** True once the query budget {e or} the wall-clock deadline is spent.
-    Both causes are observable through this single predicate: poll it
-    between batched {!query_many} calls (queries never fail — exhaustion
-    is advisory, mirroring Algorithm 2's "TimeLimit is exceeded" test),
-    and note that a deadline can flip [exhausted] even when
-    {!queries_used} is still under {!budget}. *)
+(** True once the query budget {e or} the wall-clock deadline is spent —
+    or a fault schedule injects premature exhaustion. All causes are
+    observable through this single predicate: poll it between batched
+    {!query_many} calls (budget/deadline exhaustion never fails a query —
+    it is advisory, mirroring Algorithm 2's "TimeLimit is exceeded"
+    test), and note that a deadline can flip [exhausted] even when
+    {!queries_used} is still under {!budget}. The deadline is measured
+    on the {!Lr_instr.Instr.now} clock, so injected latency counts
+    against it. *)
 
 val reset_accounting : t -> unit
 (** Zero the query counter, restart the deadline clock, {e and} clear
-    the per-span attribution table ({!queries_by_span} becomes []) and
-    the {!query_latency} histogram — benchmarks call this between
-    methods sharing one box, and stale attribution would otherwise leak
-    across runs. *)
+    the per-span attribution table ({!queries_by_span} becomes []), the
+    {!query_latency} histogram, the retry counters and the fault
+    stream's cursor — benchmarks call this between methods sharing one
+    box, and stale attribution would otherwise leak across runs. *)
 
 (** {1 Accounting shards}
 
@@ -91,19 +142,25 @@ val reset_accounting : t -> unit
     only reads the circuit); for {!of_function} boxes the caller must
     supply a thread-safe function before sharding. *)
 
-val shard : ?budget:int -> ?strict:bool -> t -> t
-(** [shard ?budget ?strict t] — a fresh-accounting view of [t].
-    [budget] is the shard's own query slice ([None] = unlimited; the
-    parent's budget does {e not} apply to the shard). With
+val shard : ?budget:int -> ?strict:bool -> ?fault_key:int -> t -> t
+(** [shard ?budget ?strict ?fault_key t] — a fresh-accounting view of
+    [t]. [budget] is the shard's own query slice ([None] = unlimited;
+    the parent's budget does {e not} apply to the shard). With
     [strict = true] a query that would push the shard past its slice
     raises {!Exhausted} instead of executing; default [false] keeps
-    the advisory semantics of {!exhausted}. *)
+    the advisory semantics of {!exhausted}. On a faulty parent the
+    shard gets a fresh fault stream for [fault_key] (default: the
+    parent's key) — keyed streams are what make a sharded run replay
+    the sequential run's fault schedule exactly; the learner keys each
+    shard by its primary-output index. The parent's retry policy is
+    inherited. *)
 
 val absorb : t -> t -> unit
 (** [absorb t s] folds shard [s]'s accounting into [t]: query count,
-    per-span attribution (new keys keep [s]'s first-seen order) and the
-    latency histogram. Call exactly once per shard, from one domain at
-    a time. [s]'s own counters are left untouched. *)
+    per-span attribution (new keys keep [s]'s first-seen order), retry
+    count and attribution, fault counters, and the latency histogram.
+    Call exactly once per shard, from one domain at a time. [s]'s own
+    counters are left untouched. *)
 
 val golden : t -> Lr_netlist.Netlist.t option
 (** The wrapped circuit, if any. {b Evaluation-only}: learners must not call

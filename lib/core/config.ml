@@ -31,6 +31,8 @@ type t = {
   time_budget_s : float option;
   check_level : check_level;
   jobs : int;
+  retry : Lr_faults.Faults.retry;
+  faults : Lr_faults.Faults.spec option;
 }
 
 let contest =
@@ -54,6 +56,8 @@ let contest =
     time_budget_s = None;
     check_level = Off;
     jobs = 1;
+    retry = Lr_faults.Faults.no_retry;
+    faults = None;
   }
 
 let improved =
@@ -72,3 +76,5 @@ let with_seed seed t = { t with seed }
 let with_time_budget time_budget_s t = { t with time_budget_s }
 let with_check check_level t = { t with check_level }
 let with_jobs jobs t = { t with jobs }
+let with_retry retry t = { t with retry }
+let with_faults faults t = { t with faults }

@@ -54,6 +54,13 @@ type t = {
           auto, [Lr_par.Par.default_jobs ()]). Any value learns the
           {e same} circuit from the same seed — parallelism only
           reschedules work, it never changes results *)
+  retry : Lr_faults.Faults.retry;
+      (** policy for injected query failures (presets:
+          {!Lr_faults.Faults.no_retry} — the first failure is fatal for
+          the output being learned, which then degrades) *)
+  faults : Lr_faults.Faults.spec option;
+      (** fault schedule armed on the black box before learning;
+          [None] (the presets' value) leaves the oracle reliable *)
 }
 
 val contest : t
@@ -66,3 +73,5 @@ val with_seed : int -> t -> t
 val with_time_budget : float option -> t -> t
 val with_check : check_level -> t -> t
 val with_jobs : int -> t -> t
+val with_retry : Lr_faults.Faults.retry -> t -> t
+val with_faults : Lr_faults.Faults.spec option -> t -> t

@@ -20,6 +20,7 @@ module Selfcheck = Lr_check.Selfcheck
 module Lint = Lr_check.Lint
 module Finding = Lr_check.Finding
 module Par = Lr_par.Par
+module Faults = Lr_faults.Faults
 
 type method_used =
   | Linear_template
@@ -29,6 +30,7 @@ type method_used =
   | Exhaustive
   | Decision_tree
   | Skipped_budget
+  | Degraded_fault
 
 let method_to_string = function
   | Linear_template -> "linear-template"
@@ -38,6 +40,7 @@ let method_to_string = function
   | Exhaustive -> "exhaustive"
   | Decision_tree -> "decision-tree"
   | Skipped_budget -> "skipped-budget"
+  | Degraded_fault -> "degraded-fault"
 
 type output_report = {
   output : int;
@@ -60,6 +63,11 @@ type report = {
   phase_queries : (string * int) list;
   phase_gc : (string * Lr_report.Gcstat.t) list;
   query_latency : Lr_report.Histogram.summary;
+  retries : int;
+  phase_retries : (string * int) list;
+  faults_seen : (string * int) list;
+  degraded : int;
+      (** outputs that gave up on a failing oracle ([Degraded_fault]) *)
   budget_exceeded : bool;
   check_level : Config.check_level;
   checks_verified : int;
@@ -250,7 +258,15 @@ type conquered = {
 }
 
 let learn ?(config = Config.default) box =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Instr.now () in
+  (* arm the box's chaos hooks before the first query: key [-1] is the
+     shared divide-phase stream, per-output streams are derived at shard
+     time. The retry policy is installed even on a reliable box so a
+     caller-armed box still retries. *)
+  (match config.Config.faults with
+  | Some spec -> Box.set_faults box ~key:(-1) (Some spec)
+  | None -> ());
+  Box.set_retry box config.Config.retry;
   let master_rng = Rng.create config.Config.seed in
   let template_rng = Rng.split master_rng in
   let support_rng = Rng.split master_rng in
@@ -298,7 +314,7 @@ let learn ?(config = Config.default) box =
     !budget_hit
     ||
     match config.Config.time_budget_s with
-    | Some b when Unix.gettimeofday () -. t0 >= b ->
+    | Some b when Instr.now () -. t0 >= b ->
         budget_hit := true;
         true
     | _ -> false
@@ -310,10 +326,14 @@ let learn ?(config = Config.default) box =
     else
       phase "templates" (fun () ->
         if config.Config.use_grouping && config.Config.use_templates then
-          Some
-            (T.scan ~samples:config.Config.template_samples
-               ~prop_cubes:config.Config.template_prop_cubes
-               ~rng:template_rng box)
+          (* an unretryable fault mid-scan degrades to "no templates": every
+             output falls through to the generic conquer path *)
+          try
+            Some
+              (T.scan ~samples:config.Config.template_samples
+                 ~prop_cubes:config.Config.template_prop_cubes
+                 ~rng:template_rng box)
+          with Faults.Query_failed _ -> None
         else None)
   in
   let reports = ref [] in
@@ -431,23 +451,31 @@ let learn ?(config = Config.default) box =
     List.init no Fun.id |> List.filter (fun o -> not (Hashtbl.mem handled o))
   in
   (* ---- step 3: support identification, one pass for all outputs ---- *)
+  let support_failed = ref false in
   let stats =
     if remaining = [] || over_budget () then None
     else
       phase "support-id" (fun () ->
-          Some
-            (Ps.run ~rounds:config.Config.support_rounds ~rng:support_rng box
-               ~constraint_:(Cube.top ni) ()))
+          try
+            Some
+              (Ps.run ~rounds:config.Config.support_rounds ~rng:support_rng box
+                 ~constraint_:(Cube.top ni) ())
+          with Faults.Query_failed _ ->
+            (* support stats serve every remaining output: an unretryable
+               fault here degrades them all, best-effort constants *)
+            support_failed := true;
+            None)
   in
-  (* an output skipped because the wall-clock budget ran out still gets a
-     (constant) circuit — the report is the visible trace of the skip *)
-  let skip_output po =
+  (* an output skipped because the wall-clock budget ran out — or
+     abandoned to a failing oracle — still gets a (constant) circuit: the
+     report's method is the visible trace of the skip *)
+  let skip_output method_used po =
     N.set_output circuit po (N.const_false circuit);
     reports :=
       {
         output = po;
         output_name = out_names.(po);
-        method_used = Skipped_budget;
+        method_used;
         support_size = 0;
         cubes = 0;
         used_offset = false;
@@ -508,52 +536,76 @@ let learn ?(config = Config.default) box =
     in
     let result, method_used =
       phase "fbdt" @@ fun () ->
-      if List.length support <= config.Config.small_support_threshold then
-        (Fbdt.learn_exhaustive ~rng ~support oracle, Exhaustive)
-      else begin
-        (* refinement loop (extension): when the tree came back truncated
-           and fresh validation samples expose mistakes, retry with a
-           doubled node budget — the budget-vs-accuracy dial the paper
-           leaves at a fixed setting *)
-        let validate result =
-          let probes =
-            Array.init 256 (fun i ->
-                Bv.random_biased rng [| 0.5; 0.8; 0.2 |].(i mod 3) dom.arity)
+      try
+        if List.length support <= config.Config.small_support_threshold then
+          (Fbdt.learn_exhaustive ~rng ~support oracle, Exhaustive)
+        else begin
+          (* refinement loop (extension): when the tree came back truncated
+             and fresh validation samples expose mistakes, retry with a
+             doubled node budget — the budget-vs-accuracy dial the paper
+             leaves at a fixed setting *)
+          let validate result =
+            let probes =
+              Array.init 256 (fun i ->
+                  Bv.random_biased rng [| 0.5; 0.8; 0.2 |].(i mod 3) dom.arity)
+            in
+            (* validation is optional polish: if the probes themselves hit
+               an unretryable fault, keep the result we already have *)
+            match oracle.Oracle.query probes with
+            | exception Faults.Query_failed _ -> true
+            | want ->
+                let errors = ref 0 in
+                Array.iteri
+                  (fun i p ->
+                    if Cover.eval result.Fbdt.onset p <> want.(i) then
+                      incr errors)
+                  probes;
+                !errors = 0
           in
-          let want = oracle.Oracle.query probes in
-          let errors = ref 0 in
-          Array.iteri
-            (fun i p ->
-              if Cover.eval result.Fbdt.onset p <> want.(i) then incr errors)
-            probes;
-          !errors = 0
-        in
-        let rec attempt tries max_nodes =
-          let fcfg =
-            {
-              Fbdt.node_rounds = config.Config.node_rounds;
-              biases = Ps.default_biases;
-              leaf_epsilon = config.Config.leaf_epsilon;
-              max_nodes;
-            }
+          let rec attempt tries max_nodes =
+            let fcfg =
+              {
+                Fbdt.node_rounds = config.Config.node_rounds;
+                biases = Ps.default_biases;
+                leaf_epsilon = config.Config.leaf_epsilon;
+                max_nodes;
+              }
+            in
+            let result = Fbdt.learn ~support fcfg ~rng oracle in
+            if
+              tries <= 0 || result.Fbdt.complete
+              || Box.exhausted shard || validate result
+            then result
+            else attempt (tries - 1) (2 * max_nodes)
           in
-          let result = Fbdt.learn ~support fcfg ~rng oracle in
-          if
-            tries <= 0 || result.Fbdt.complete
-            || Box.exhausted shard || validate result
-          then result
-          else attempt (tries - 1) (2 * max_nodes)
-        in
-        ( attempt config.Config.refine_rounds config.Config.max_tree_nodes,
-          Decision_tree )
-      end
+          ( attempt config.Config.refine_rounds config.Config.max_tree_nodes,
+            Decision_tree )
+        end
+      with Faults.Query_failed _ ->
+        (* retries spent mid-learning: give this output up as a constant
+           and let the siblings proceed — the parallel analogue of
+           [Skipped_budget], charged to the oracle instead of the clock *)
+        ( {
+            Fbdt.onset = Cover.empty dom.arity;
+            offset = Cover.empty dom.arity;
+            truth_ratio = 0.0;
+            complete = false;
+            nodes_expanded = 0;
+            tree = None;
+            table = None;
+          },
+          Degraded_fault )
     in
     let use_offset =
       config.Config.use_onset_offset && result.Fbdt.truth_ratio > 0.5
     in
     let plan, cubes_built, check_cover =
-      phase "cover-min" @@ fun () ->
-      match result.Fbdt.table with
+      if method_used = Degraded_fault then
+        (* best-effort constant false; nothing to minimize or check *)
+        (Build_mux { muxes = [||]; root = -1 }, 0, None)
+      else
+        phase "cover-min" @@ fun () ->
+        match result.Fbdt.table with
       | Some table ->
           (* exhaustive conquest: collapse the exact truth table to a BDD
              and pick the cheaper of its irredundant SOP and its mux
@@ -613,7 +665,11 @@ let learn ?(config = Config.default) box =
   in
   (match remaining with
   | [] -> ()
-  | _ when over_budget () || stats = None -> List.iter skip_output remaining
+  | _ when over_budget () || stats = None ->
+      List.iter
+        (skip_output
+           (if !support_failed then Degraded_fault else Skipped_budget))
+        remaining
   | _ ->
       let stats = Option.get stats in
       let n_tasks = List.length remaining in
@@ -632,7 +688,7 @@ let learn ?(config = Config.default) box =
       let tasks =
         Array.of_list
           (List.mapi
-             (fun i po -> (po, Box.shard ?budget:(slice i) box))
+             (fun i po -> (po, Box.shard ?budget:(slice i) ~fault_key:po box))
              remaining)
       in
       let results, workers =
@@ -796,12 +852,11 @@ let learn ?(config = Config.default) box =
   let phase_times =
     List.map (fun n -> (n, Hashtbl.find phase_time n)) phase_names
   in
-  let phase_queries =
-    (* attribution key is the innermost span name at query time, which for
-       every query the pipeline issues is one of the phase spans; anything
-       else (a caller's own probing) lands in "other" so the totals always
-       sum to [Box.queries_used]. *)
-    let by_span = Box.queries_by_span box in
+  (* attribution key is the innermost span name at query time, which for
+     every query the pipeline issues is one of the phase spans; anything
+     else (a caller's own probing) lands in "other" so the totals always
+     sum to the box's counter. Retries share the same keying. *)
+  let fold_phases by_span =
     let known =
       List.map
         (fun n ->
@@ -815,6 +870,8 @@ let learn ?(config = Config.default) box =
     in
     known @ [ ("other", other) ]
   in
+  let phase_queries = fold_phases (Box.queries_by_span box) in
+  let phase_retries = fold_phases (Box.retries_by_span box) in
   let phase_gc =
     List.map (fun n -> (n, Hashtbl.find phase_gc n)) phase_names
   in
@@ -828,16 +885,23 @@ let learn ?(config = Config.default) box =
                phase_names ))
          domain_time)
   in
+  let outputs = List.sort (fun a b -> compare a.output b.output) !reports in
   {
     circuit;
-    outputs = List.sort (fun a b -> compare a.output b.output) !reports;
+    outputs;
     queries = Box.queries_used box;
-    elapsed_s = Unix.gettimeofday () -. t0;
+    elapsed_s = Instr.now () -. t0;
     matches;
     phase_times;
     phase_queries;
     phase_gc;
     query_latency = Histogram.summarize (Box.query_latency box);
+    retries = Box.retries_used box;
+    phase_retries;
+    faults_seen = Box.faults_seen box;
+    degraded =
+      List.length
+        (List.filter (fun r -> r.method_used = Degraded_fault) outputs);
     budget_exceeded = !budget_hit;
     check_level = config.Config.check_level;
     checks_verified = !checks_verified;

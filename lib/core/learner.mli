@@ -26,6 +26,10 @@ type method_used =
   | Skipped_budget
       (** the wall-clock budget ({!Config.t.time_budget_s}) ran out
           before this output's turn: it was emitted as constant false *)
+  | Degraded_fault
+      (** this output's queries kept failing after the retry policy
+          ({!Config.t.retry}) was spent: it was emitted best-effort as
+          constant false — the fault analogue of {!Skipped_budget} *)
 
 val method_to_string : method_used -> string
 
@@ -64,6 +68,21 @@ type report = {
       (** per-query latency percentiles from the box's histogram
           ({!Lr_blackbox.Blackbox.query_latency}) as it stood when
           learning finished *)
+  retries : int;
+      (** injected query failures that were retried
+          ({!Lr_blackbox.Blackbox.retries_used}); 0 on a reliable box *)
+  phase_retries : (string * int) list;
+      (** retries per phase, same keys and ["other"] bucket as
+          [phase_queries]; sums to [retries] *)
+  faults_seen : (string * int) list;
+      (** the fault stream's counters
+          ({!Lr_faults.Faults.seen}, shards folded in); [[]] when the box
+          is reliable *)
+  degraded : int;
+      (** outputs whose [method_used] is {!Degraded_fault} — nonzero
+          means the learned circuit is best-effort, and downstream
+          tooling (e.g. [lr_report check]) must not treat this run as a
+          comparable baseline *)
   budget_exceeded : bool;
       (** the {!Config.t.time_budget_s} wall-clock budget ran out: some
           phases or outputs were skipped (their [method_used] is
@@ -106,4 +125,14 @@ val learn : ?config:Config.t -> Lr_blackbox.Blackbox.t -> report
     verified against its input; a failure raises
     {!Lr_check.Selfcheck.Check_failed} with the offending stage, output
     and a counterexample. With [Structural] (or [Full]) the final circuit
-    is linted and error findings raise [Failure]. *)
+    is linted and error findings raise [Failure].
+
+    With [config.faults] set the box is armed with that schedule before
+    the first query, and [config.retry] governs injected failures.
+    {!Lr_faults.Faults.Query_failed} never escapes this function:
+    a failure that outlives its retries degrades the affected output(s)
+    ({!Degraded_fault}) and learning continues — the caller reads
+    [report.degraded] to find out. Because failed attempts consume no
+    query budget, a run whose transient faults are all absorbed by
+    retries returns the bit-identical circuit and query counts of a
+    fault-free run, at any [jobs]. *)

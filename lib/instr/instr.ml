@@ -30,7 +30,26 @@ type sink = { emit : event -> unit; flush : unit -> unit }
 
 let clock = ref Unix.gettimeofday
 let set_clock f = clock := f
-let now () = !clock ()
+
+(* Synthetic seconds layered on top of the clock — the fault-injection
+   harness "sleeps" (backoff, latency spikes) by advancing this skew
+   instead of stalling the process, so injected time shows up in every
+   span duration, latency histogram and deadline check at zero real
+   cost. Atomic because worker domains advance it concurrently; only
+   monotone growth, so a CAS retry loop suffices. *)
+let clock_skew = Atomic.make 0.0
+
+let advance_clock d =
+  if d > 0.0 then begin
+    let rec add () =
+      let cur = Atomic.get clock_skew in
+      if not (Atomic.compare_and_set clock_skew cur (cur +. d)) then add ()
+    in
+    add ()
+  end
+
+let clock_skew_s () = Atomic.get clock_skew
+let now () = !clock () +. Atomic.get clock_skew
 let enabled_flag = ref true
 let enabled () = !enabled_flag
 let set_enabled b = enabled_flag := b

@@ -93,6 +93,20 @@ val set_clock : (unit -> float) -> unit
     inject a deterministic clock here. *)
 
 val now : unit -> float
+(** The current clock reading {e plus} the accumulated synthetic skew
+    ({!advance_clock}). *)
+
+val advance_clock : float -> unit
+(** [advance_clock d] adds [d] synthetic seconds to every subsequent
+    {!now} reading, process-wide (atomic — safe from worker domains).
+    The fault-injection harness injects latency spikes and retry
+    backoff through this instead of sleeping: spans, latency histograms
+    and deadline checks all see the stall, at zero wall-clock cost.
+    Negative or zero [d] is a no-op; the skew never rewinds, mirroring
+    real time. *)
+
+val clock_skew_s : unit -> float
+(** Total synthetic seconds injected so far in this process. *)
 
 (** {1 Recording} *)
 

@@ -75,6 +75,12 @@ let jobs_of_report v =
   | Some j -> j
   | None -> 1
 
+(* ... and always fault-free *)
+let degraded_of_report v =
+  match Option.bind (Json.member "degraded" v) Json.get_int with
+  | Some d -> d
+  | None -> 0
+
 let split_key key =
   match String.index_opt key '/' with
   | Some i ->

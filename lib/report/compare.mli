@@ -24,6 +24,12 @@ val jobs_of_report : Lr_instr.Json.t -> int
     levels — sizes and accuracies would agree, but wall-clock rows
     would not be like for like. *)
 
+val degraded_of_report : Lr_instr.Json.t -> int
+(** The [degraded] output count of a run report; 0 when absent (reports
+    written before fault injection existed were always fault-free). The
+    regression gate refuses runs with [degraded > 0] on either side:
+    best-effort constants make size and accuracy incomparable. *)
+
 val filter : ?case:string -> ?method_:string -> entry list -> entry list
 (** [case] matches the part before ['/'], [method_] the part after
     (entries without a method — run reports — survive only when no

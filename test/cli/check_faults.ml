@@ -1,0 +1,66 @@
+(* Fault-injection CLI checker: parses the --json reports of a retried
+   run (exit 0, transparent) and a hard-faulted run (exit 3, degraded)
+   and prints deterministic facts, diffed against faults.expected. The
+   exit codes themselves are enforced by the dune rules that produce the
+   inputs ([with-accepted-exit-codes]). *)
+
+module Json = Lr_instr.Json
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse path =
+  match Json.of_string (read_file path) with
+  | Ok v -> v
+  | Error e ->
+      Printf.printf "%s: PARSE ERROR %s\n" (Filename.basename path) e;
+      exit 0
+
+let get_str v k =
+  match Option.bind (Json.member k v) Json.get_string with
+  | Some s -> s
+  | None -> "<missing>"
+
+let get_int v k =
+  match Option.bind (Json.member k v) Json.get_int with
+  | Some i -> i
+  | None -> min_int
+
+let seen report k =
+  match Json.member "faults_seen" report with
+  | Some o -> get_int o k
+  | None -> min_int
+
+let phase_retry_sum report =
+  match Option.bind (Json.member "phases" report) Json.get_list with
+  | Some l -> List.fold_left (fun acc p -> acc + get_int p "retries") 0 l
+  | None -> min_int
+
+let () =
+  let retried = parse Sys.argv.(1) and degraded = parse Sys.argv.(2) in
+
+  (* retried run: faults were injected, every one outlasted *)
+  Printf.printf "retried faults: %s\n" (get_str retried "faults");
+  Printf.printf "retried saw transients: %b\n" (seen retried "transient" > 0);
+  Printf.printf "retried retries > 0: %b\n" (get_int retried "retries" > 0);
+  Printf.printf "retried phase retries sum == retries: %b\n"
+    (phase_retry_sum retried = get_int retried "retries");
+  Printf.printf "retried degraded: %d\n" (get_int retried "degraded");
+
+  (* degraded run: retries disabled, every output gave up *)
+  Printf.printf "degraded faults: %s\n" (get_str degraded "faults");
+  Printf.printf "degraded == outputs: %b\n"
+    (get_int degraded "degraded" = get_int degraded "outputs"
+    && get_int degraded "degraded" > 0);
+  Printf.printf "degraded retries: %d\n" (get_int degraded "retries");
+  Printf.printf "degraded saw exhaust: %d\n" (seen degraded "exhaust");
+  let methods =
+    match Option.bind (Json.member "outputs_detail" degraded) Json.get_list with
+    | Some l ->
+        List.sort_uniq compare (List.map (fun o -> get_str o "method") l)
+    | None -> []
+  in
+  Printf.printf "degraded methods: %s\n" (String.concat " " methods)

@@ -24,6 +24,12 @@ module Aig = Lr_aig.Aig
 module Opt = Lr_aig.Opt
 module Aiger = Lr_aig.Aiger
 module Bdd = Lr_bdd.Bdd
+module Box = Lr_blackbox.Blackbox
+module F = Lr_faults.Faults
+module Lint = Lr_check.Lint
+module Finding = Lr_check.Finding
+module Config = Logic_regression.Config
+module Learner = Logic_regression.Learner
 
 (* ---------------- the harness ---------------- *)
 
@@ -261,6 +267,73 @@ let prop_evaluators_agree () =
           && Bv.get (N.eval circuit a) 0 = want)
         (List.init 32 Fun.id))
 
+(* ---------------- fault injection ---------------- *)
+
+(* a recipe paired with a transient-only fault schedule; shrinking works
+   on the recipe (the schedule is already minimal in structure) *)
+let arb_faulted_recipe =
+  {
+    gen =
+      (fun rng size ->
+        let spec =
+          {
+            F.none with
+            F.seed = 1 + Rng.int rng 10_000;
+            fail_p = 0.05 +. (float_of_int (Rng.int rng 25) /. 100.0);
+            fail_burst = 1 + Rng.int rng 3;
+            latency_p = 0.1;
+            latency_s = 0.001;
+          }
+        in
+        (arb_recipe.gen rng size, spec));
+    shrink =
+      (fun (r, spec) ->
+        List.map (fun r -> (r, spec)) (arb_recipe.shrink r));
+    print =
+      (fun (r, spec) ->
+        Printf.sprintf "%s under %s" (arb_recipe.print r) (F.to_string spec));
+  }
+
+let tiny_learn ?faults ?(retry = F.no_retry) r =
+  let box = Box.of_netlist ~budget:30_000 (build_netlist r) in
+  Learner.learn
+    ~config:
+      {
+        Config.default with
+        Config.support_rounds = 64;
+        node_rounds = 16;
+        max_tree_nodes = 128;
+        optimize_rounds = 1;
+        fraig_words = 4;
+        template_samples = 16;
+        retry;
+        faults;
+      }
+    box
+
+(* transient faults outlasted by retries change nothing: not the
+   netlist, not the query count — the learner cannot tell it was
+   attacked (retries >= burst+1 attempts guarantees every burst is
+   outlasted) *)
+let prop_transient_faults_transparent () =
+  check_prop ~count:8 "transient faults + retries are transparent"
+    arb_faulted_recipe (fun (r, spec) ->
+      let clean = tiny_learn r in
+      let faulted = tiny_learn ~faults:spec ~retry:(F.retry 8) r in
+      Io.write clean.Learner.circuit = Io.write faulted.Learner.circuit
+      && clean.Learner.queries = faulted.Learner.queries
+      && faulted.Learner.degraded = 0)
+
+(* a hard fault schedule degrades every output, yet the emitted netlist
+   is still well-formed: the lint finds no error-severity problems *)
+let prop_degraded_netlist_lints () =
+  check_prop ~count:8 "degraded runs emit lint-clean netlists"
+    arb_faulted_recipe (fun (r, spec) ->
+      let hard = { spec with F.fail_p = 1.0; fail_burst = 0 } in
+      let report = tiny_learn ~faults:hard r in
+      report.Learner.degraded = List.length report.Learner.outputs
+      && Finding.errors (Lint.netlist report.Learner.circuit) = [])
+
 (* the harness must actually shrink: a seeded failing property ends at a
    local minimum, here the empty gate list *)
 let test_shrinking_works () =
@@ -282,6 +355,10 @@ let tests =
     Alcotest.test_case "native round-trip" `Quick prop_native_roundtrip;
     Alcotest.test_case "AIGER round-trip" `Quick prop_aiger_roundtrip;
     Alcotest.test_case "evaluator agreement" `Quick prop_evaluators_agree;
+    Alcotest.test_case "transient fault transparency" `Quick
+      prop_transient_faults_transparent;
+    Alcotest.test_case "degraded netlists lint clean" `Quick
+      prop_degraded_netlist_lints;
     Alcotest.test_case "shrinking reaches a minimum" `Quick
       test_shrinking_works;
   ]

@@ -27,22 +27,24 @@ let fast =
     template_samples = 32;
   }
 
-let learn_with ~jobs ~seed name =
+let learn_with ?faults ?(retry = Lr_faults.Faults.no_retry) ~jobs ~seed name =
   let spec = Cases.find name in
   let box = Cases.blackbox ~budget:150_000 spec in
-  let report = Learner.learn ~config:{ fast with Config.seed; jobs } box in
+  let report =
+    Learner.learn ~config:{ fast with Config.seed; jobs; faults; retry } box
+  in
   let accuracy =
     Eval.accuracy ~count:2000 ~rng:(Rng.create (seed + 7919))
       ~golden:(Cases.build spec) ~candidate:report.Learner.circuit ()
   in
   (Io.write report.Learner.circuit, accuracy, report)
 
-let assert_jobs_invariant ?(jobs_levels = [ 2; 4 ]) name seed =
-  let base_net, base_acc, base = learn_with ~jobs:1 ~seed name in
+let assert_jobs_invariant ?(jobs_levels = [ 2; 4 ]) ?faults ?retry name seed =
+  let base_net, base_acc, base = learn_with ?faults ?retry ~jobs:1 ~seed name in
   List.iter
     (fun jobs ->
       let ctx = Printf.sprintf "%s seed=%d jobs=%d" name seed jobs in
-      let net, acc, r = learn_with ~jobs ~seed name in
+      let net, acc, r = learn_with ?faults ?retry ~jobs ~seed name in
       check_str (ctx ^ ": bit-identical netlist") base_net net;
       check_int (ctx ^ ": equal queries") base.Learner.queries
         r.Learner.queries;
@@ -67,7 +69,13 @@ let assert_jobs_invariant ?(jobs_levels = [ 2; 4 ]) name seed =
             (Printf.sprintf "%s: PO %s same cubes" ctx b.Learner.output_name)
             b.Learner.cubes o.Learner.cubes)
         base.Learner.outputs r.Learner.outputs;
-      check_int (ctx ^ ": reported jobs") jobs r.Learner.jobs)
+      check_int (ctx ^ ": reported jobs") jobs r.Learner.jobs;
+      (* fault accounting must replay too, not just the circuit *)
+      check_int (ctx ^ ": equal retries") base.Learner.retries
+        r.Learner.retries;
+      Alcotest.(check (list (pair string int)))
+        (ctx ^ ": equal fault counters")
+        base.Learner.faults_seen r.Learner.faults_seen)
     jobs_levels
 
 (* diverse trio: templates, exhaustive conquest, FBDT trees *)
@@ -75,6 +83,24 @@ let default_trio = [ "case_12"; "case_8"; "case_5" ]
 
 let test_trio_seed seed () =
   List.iter (fun name -> assert_jobs_invariant name seed) default_trio
+
+(* the invariant must survive chaos: a seeded fault schedule with
+   retries in play replays identically on every worker count *)
+let test_trio_faulted () =
+  let faults =
+    {
+      Lr_faults.Faults.none with
+      Lr_faults.Faults.seed = 5;
+      fail_p = 0.03;
+      fail_burst = 2;
+      latency_p = 0.05;
+      latency_s = 0.002;
+    }
+  in
+  let retry = Lr_faults.Faults.retry 4 in
+  List.iter
+    (fun name -> assert_jobs_invariant ~faults ~retry name 1)
+    default_trio
 
 let test_full_sweep () =
   match Sys.getenv_opt "LR_DETERMINISM_ALL" with
@@ -91,6 +117,8 @@ let tests =
       (test_trio_seed 1);
     Alcotest.test_case "jobs 1/2/4 invariant, seed 42" `Quick
       (test_trio_seed 42);
+    Alcotest.test_case "jobs 1/2/4 invariant under a fault schedule" `Quick
+      test_trio_faulted;
     Alcotest.test_case "full 20-case sweep (LR_DETERMINISM_ALL)" `Slow
       test_full_sweep;
   ]

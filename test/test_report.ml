@@ -395,6 +395,25 @@ let majority_box () =
       Bv.set out 0 (Bv.popcount a >= 2);
       out)
 
+(* regression: an empty batch must be a complete accounting no-op — it
+   used to register a phantom zero-count attribution entry and (before
+   Histogram.add_n grew its guard) a zero-weight bucket that skewed
+   Histogram.merge *)
+let test_query_many_empty () =
+  let box = majority_box () in
+  ignore (Box.query_many box [||]);
+  check_int "no queries counted" 0 (Box.queries_used box);
+  check_int "latency histogram untouched" 0
+    (Histogram.count (Box.query_latency box));
+  check "no phantom attribution entry" true (Box.queries_by_span box = []);
+  (* and merging the untouched shard histogram adds no weight *)
+  let shard = Box.shard box in
+  ignore (Box.query_many shard [||]);
+  Box.absorb box shard;
+  check_int "absorb of an idle shard adds nothing" 0
+    (Histogram.count (Box.query_latency box));
+  check "still no attribution entries" true (Box.queries_by_span box = [])
+
 let test_budget_zero () =
   with_clean @@ fun () ->
   let box = majority_box () in
@@ -469,6 +488,8 @@ let tests =
     Alcotest.test_case "heartbeat: fake clock" `Quick test_heartbeat;
     Alcotest.test_case "heartbeat: silent below interval" `Quick
       test_heartbeat_silent_below_interval;
+    Alcotest.test_case "blackbox: empty query_many is a no-op" `Quick
+      test_query_many_empty;
     Alcotest.test_case "learner: zero time budget" `Quick test_budget_zero;
     Alcotest.test_case "learner: no budget unchanged" `Quick
       test_no_budget_unchanged;
