@@ -505,6 +505,15 @@ let () =
   let json, args = extract "--json" args in
   let seed, args = extract "--seed" args in
   let only, args = extract "--only" args in
+  (* fail fast on a typo'd case name — silently benchmarking an empty
+     selection looks like success and wastes the run *)
+  (match only with
+  | Some name when not (List.exists (fun s -> s.Cases.name = name) Cases.specs)
+    ->
+      Printf.eprintf "unknown --only case: %s\nknown cases: %s\n" name
+        (String.concat ", " (List.map (fun s -> s.Cases.name) Cases.specs));
+      exit 1
+  | _ -> ());
   let history, args = extract "--history" args in
   let heartbeat, args = extract "--heartbeat" args in
   let budget_s, args = extract "--time-budget" args in

@@ -18,6 +18,8 @@ module Histogram = Lr_report.Histogram
 module Gcstat = Lr_report.Gcstat
 module History = Lr_report.History
 module Heartbeat = Lr_report.Heartbeat
+module Progress = Lr_prof.Progress
+module Metrics = Lr_prof.Metrics
 module Finding = Lr_check.Finding
 module Faults = Lr_faults.Faults
 
@@ -72,6 +74,33 @@ let trace_arg =
 let metrics_arg =
   let doc = "Print a per-span time/counter summary to stderr after the run." in
   Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let trace_jsonl_arg =
+  let doc =
+    "Write the raw telemetry event stream as JSONL (one event per line) — \
+     the lossless input format of the $(b,lr_prof) profiler. Pass $(b,-) \
+     to write to standard output."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-jsonl" ] ~docv:"FILE" ~doc)
+
+let progress_arg =
+  let doc =
+    "Stream live progress as NDJSON (schema lr-progress/v1): phase \
+     begin/end, per-output conquer completion, query/time-budget \
+     consumption, retry and degradation events. The event sequence is \
+     identical at any --jobs level. Pass $(b,-) to stream to standard \
+     output."
+  in
+  Arg.(value & opt (some string) None & info [ "progress" ] ~docv:"FILE" ~doc)
+
+let metrics_out_arg =
+  let doc =
+    "After the run, write counters, per-span times, GC statistics and \
+     query-latency quantiles to $(docv) in Prometheus textfile exposition \
+     format."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
 
 let json_arg =
   let doc =
@@ -172,7 +201,8 @@ let open_out_or_die ~flag path =
     exit 1
 
 (* attach the requested sinks; returns a finalizer *)
-let setup_sinks ?heartbeat ?time_budget ~trace ~metrics () =
+let setup_sinks ?heartbeat ?time_budget ?query_budget ~trace ~trace_jsonl
+    ~progress ~metrics () =
   let sinks =
     (match trace with
     | Some "-" -> [ Instr.chrome_trace print_string ]
@@ -180,6 +210,20 @@ let setup_sinks ?heartbeat ?time_budget ~trace ~metrics () =
         close_out (open_out_or_die ~flag:"--trace" f);
         [ Instr.chrome_trace_file f ]
     | None -> [])
+    @ (match trace_jsonl with
+      | Some "-" -> [ Instr.jsonl print_string ]
+      | Some f ->
+          close_out (open_out_or_die ~flag:"--trace-jsonl" f);
+          [ Instr.jsonl_file f ]
+      | None -> [])
+    @ (match progress with
+      | Some "-" -> [ Progress.sink ?query_budget ?time_budget_s:time_budget () ]
+      | Some f -> (
+          try [ Progress.file ?query_budget ?time_budget_s:time_budget f ]
+          with Sys_error msg ->
+            Printf.eprintf "error: cannot open --progress file: %s\n" msg;
+            exit 1)
+      | None -> [])
     @ (if metrics then [ Instr.stderr_summary () ] else [])
     @
     match heartbeat with
@@ -373,8 +417,8 @@ let print_phase_breakdown oc report =
   | _ -> ()
 
 let learn_run case preset seed budget eval_patterns support_rounds no_templates
-    no_grouping out trace metrics json history heartbeat time_budget check jobs
-    faults retry_attempts retry_backoff =
+    no_grouping out trace trace_jsonl progress metrics metrics_out json history
+    heartbeat time_budget check jobs faults retry_attempts retry_backoff =
   let fault_spec =
     match faults with
     | None -> None
@@ -411,7 +455,8 @@ let learn_run case preset seed budget eval_patterns support_rounds no_templates
     | Some path -> Some (open_out_or_die ~flag:"--json" path)
   in
   let finish_sinks =
-    setup_sinks ?heartbeat ?time_budget ~trace ~metrics ()
+    setup_sinks ?heartbeat ?time_budget ?query_budget:budget ~trace
+      ~trace_jsonl ~progress ~metrics ()
   in
   let report =
     try Learner.learn ~config box
@@ -424,7 +469,13 @@ let learn_run case preset seed budget eval_patterns support_rounds no_templates
   let c = report.Learner.circuit in
   (* when an artifact streams to stdout, the human summary moves to
      stderr so the JSON stays parseable *)
-  let hout = if json = Some "-" || trace = Some "-" then stderr else stdout in
+  let hout =
+    if
+      json = Some "-" || trace = Some "-" || trace_jsonl = Some "-"
+      || progress = Some "-"
+    then stderr
+    else stdout
+  in
   Printf.fprintf hout "learned %s: %d PI, %d PO\n" case (N.num_inputs c)
     (N.num_outputs c);
   Printf.fprintf hout "  size:    %d two-input gates (+%d inverters), depth %d\n"
@@ -507,9 +558,63 @@ let learn_run case preset seed budget eval_patterns support_rounds no_templates
          History.append path report_json;
          Printf.fprintf hout "run appended to history %s\n" path
      | None -> ());
+  (match metrics_out with
+  | Some path ->
+      let run_fams =
+        [
+          {
+            Metrics.name = "lr_run_queries_total";
+            help = "Black-box queries issued by this run.";
+            kind = `Counter;
+            samples = [ ([], float_of_int report.Learner.queries) ];
+          };
+          {
+            Metrics.name = "lr_run_elapsed_seconds";
+            help = "Learner wall-clock for this run.";
+            kind = `Gauge;
+            samples = [ ([], report.Learner.elapsed_s) ];
+          };
+          {
+            Metrics.name = "lr_run_gates";
+            help = "Two-input gates in the learned circuit.";
+            kind = `Gauge;
+            samples = [ ([], float_of_int (N.size c)) ];
+          };
+          {
+            Metrics.name = "lr_run_retries_total";
+            help = "Query batches retried under fault injection.";
+            kind = `Counter;
+            samples = [ ([], float_of_int report.Learner.retries) ];
+          };
+          {
+            Metrics.name = "lr_run_degraded_total";
+            help = "Outputs degraded to constants by query faults.";
+            kind = `Counter;
+            samples = [ ([], float_of_int report.Learner.degraded) ];
+          };
+          {
+            Metrics.name = "lr_run_accuracy_percent";
+            help = "Scored accuracy against the golden circuit.";
+            kind = `Gauge;
+            samples =
+              [ ([], match accuracy with Some a -> a | None -> Float.nan) ];
+          };
+        ]
+      in
+      Metrics.write_file path
+        (Metrics.of_instr ~latency:report.Learner.query_latency ~extra:run_fams
+           ());
+      Printf.fprintf hout "metrics written to %s\n" path
+  | None -> ());
   (match trace with
   | Some "-" | None -> ()
   | Some path -> Printf.fprintf hout "trace written to %s\n" path);
+  (match trace_jsonl with
+  | Some "-" | None -> ()
+  | Some path -> Printf.fprintf hout "jsonl trace written to %s\n" path);
+  (match progress with
+  | Some "-" | None -> ()
+  | Some path -> Printf.fprintf hout "progress stream written to %s\n" path);
   (match out with
   | Some path ->
       Io.write_file c path;
@@ -526,9 +631,10 @@ let learn_cmd =
     Term.(
       const learn_run $ case_pos $ preset_arg $ seed_arg $ budget_arg
       $ eval_arg $ support_rounds_arg $ no_templates_arg $ no_grouping_arg
-      $ out_arg $ trace_arg $ metrics_arg $ json_arg $ history_arg
-      $ heartbeat_arg $ time_budget_arg $ check_arg $ jobs_arg $ faults_arg
-      $ retry_arg $ retry_backoff_arg)
+      $ out_arg $ trace_arg $ trace_jsonl_arg $ progress_arg $ metrics_arg
+      $ metrics_out_arg $ json_arg $ history_arg $ heartbeat_arg
+      $ time_budget_arg $ check_arg $ jobs_arg $ faults_arg $ retry_arg
+      $ retry_backoff_arg)
 
 (* ---------- baseline ---------- *)
 

@@ -1,0 +1,89 @@
+(* Profiler front end: read a telemetry trace (JSONL from --trace-jsonl,
+   or a Chrome trace from --trace), print the hotspot table, export
+   folded stacks for flamegraphs, or diff two profiles. *)
+
+module Profile = Lr_prof.Profile
+module Folded = Lr_prof.Folded
+
+open Cmdliner
+
+let die fmt =
+  Printf.ksprintf
+    (fun s ->
+      Printf.eprintf "error: %s\n" s;
+      exit 1)
+    fmt
+
+let load path =
+  match Profile.load_file path with
+  | Ok p -> p
+  | Error e -> die "%s: %s" path e
+
+let trace_pos k =
+  let doc =
+    "Trace file: JSONL event log (--trace-jsonl) or Chrome trace (--trace)."
+  in
+  Arg.(required & pos k (some string) None & info [] ~docv:"TRACE" ~doc)
+
+let k_arg =
+  let doc = "Rows per table." in
+  Arg.(value & opt int 20 & info [ "k"; "top" ] ~docv:"N" ~doc)
+
+(* ---------- top ---------- *)
+
+let top_run path k =
+  let p = load path in
+  if p.Profile.nodes = [] then
+    die "%s: no spans in trace (was instrumentation enabled?)" path;
+  print_string (Profile.render_top ~k p);
+  0
+
+let top_cmd =
+  let doc = "print the self-time hotspot table of a trace" in
+  Cmd.v (Cmd.info "top" ~doc) Term.(const top_run $ trace_pos 0 $ k_arg)
+
+(* ---------- fold ---------- *)
+
+let fold_out_arg =
+  let doc = "Write the folded stacks here instead of standard output." in
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let fold_run path out =
+  let p = load path in
+  let s = Folded.to_string p in
+  if s = "" then
+    die "%s: no spans with positive self time; nothing to fold" path;
+  (match out with
+  | None -> print_string s
+  | Some f ->
+      let oc = try open_out f with Sys_error m -> die "cannot open %s: %s" f m in
+      output_string oc s;
+      close_out oc;
+      Printf.printf "folded stacks written to %s (%d frames)\n" f
+        (List.length (Folded.lines p)));
+  0
+
+let fold_cmd =
+  let doc =
+    "export folded stacks (lr-folded/v1) for speedscope / flamegraph.pl"
+  in
+  Cmd.v (Cmd.info "fold" ~doc) Term.(const fold_run $ trace_pos 0 $ fold_out_arg)
+
+(* ---------- diff ---------- *)
+
+let diff_run old_path new_path k =
+  let old_p = load old_path and new_p = load new_path in
+  print_string (Profile.render_diff ~k old_p new_p);
+  0
+
+let diff_cmd =
+  let doc = "compare two traces: per-span self-time and counter deltas" in
+  Cmd.v
+    (Cmd.info "diff" ~doc)
+    Term.(const diff_run $ trace_pos 0 $ trace_pos 1 $ k_arg)
+
+let main =
+  let doc = "hotspot profiler over lr telemetry traces" in
+  Cmd.group (Cmd.info "lr_prof" ~doc) [ top_cmd; fold_cmd; diff_cmd ]
+
+let () = exit (Cmd.eval' main)

@@ -1,5 +1,6 @@
 module Rng = Lr_bitvec.Rng
 module Sat = Lr_sat.Sat
+module Instr = Lr_instr.Instr
 
 (* Union-find over nodes with a phase bit relative to the parent.
    Roots are always the smallest node id of their class, so substituting a
@@ -103,8 +104,10 @@ let sweep ?(words = 16) ?(max_rounds = 64) ?(max_sat_checks = 5000) ~rng aig =
     progress := false;
     (* signatures over all pattern blocks *)
     let sims =
-      List.map (fun blk -> Aig.simulate_nodes aig blk) !blocks
+      Instr.span ~name:"fraig.sim" (fun () ->
+          List.map (fun blk -> Aig.simulate_nodes aig blk) !blocks)
     in
+    Instr.count "fraig.sim-words" (List.length !blocks * n);
     let signature node = List.map (fun v -> v.(node)) sims in
     let canon sig_ =
       match sig_ with
@@ -125,30 +128,42 @@ let sweep ?(words = 16) ?(max_rounds = 64) ?(max_sat_checks = 5000) ~rng aig =
       end
     done;
     let new_cexs = ref [] in
-    Hashtbl.iter
-      (fun _ members ->
-        match List.rev members (* ascending ids *) with
-        | [] | [ _ ] -> ()
-        | rep :: rest ->
-            List.iter
-              (fun m ->
-                if
-                  !sat_checks < max_sat_checks
-                  && not (Hashtbl.mem refuted (rep, m))
-                then begin
-                  let _, prep = canon (signature rep) in
-                  let _, pm = canon (signature m) in
-                  let phase = prep <> pm in
-                  match prove_equal rep m phase with
-                  | `Equal ->
-                      Uf.union uf rep m phase;
-                      progress := true
-                  | `Counterexample cex ->
-                      Hashtbl.replace refuted (rep, m) ();
-                      new_cexs := cex :: !new_cexs
-                end)
-              rest)
-      classes;
+    let checks_before = !sat_checks in
+    let conflicts_before = Sat.stats_conflicts solver in
+    let restarts_before = Sat.stats_restarts solver in
+    let proved = ref 0 in
+    Instr.span ~name:"fraig.sat" (fun () ->
+        Hashtbl.iter
+          (fun _ members ->
+            match List.rev members (* ascending ids *) with
+            | [] | [ _ ] -> ()
+            | rep :: rest ->
+                List.iter
+                  (fun m ->
+                    if
+                      !sat_checks < max_sat_checks
+                      && not (Hashtbl.mem refuted (rep, m))
+                    then begin
+                      let _, prep = canon (signature rep) in
+                      let _, pm = canon (signature m) in
+                      let phase = prep <> pm in
+                      match prove_equal rep m phase with
+                      | `Equal ->
+                          Uf.union uf rep m phase;
+                          incr proved;
+                          progress := true
+                      | `Counterexample cex ->
+                          Hashtbl.replace refuted (rep, m) ();
+                          new_cexs := cex :: !new_cexs
+                    end)
+                  rest)
+          classes);
+    Instr.count "fraig.classes" (Hashtbl.length classes);
+    Instr.count "fraig.sat-calls" (!sat_checks - checks_before);
+    Instr.count "fraig.proved" !proved;
+    Instr.count "fraig.refuted" (List.length !new_cexs);
+    Instr.count "sat.conflicts" (Sat.stats_conflicts solver - conflicts_before);
+    Instr.count "sat.restarts" (Sat.stats_restarts solver - restarts_before);
     (* pack counterexamples into pattern blocks, 64 per block, so the
        signature length stays proportional to refinement rounds *)
     let rec pack = function
@@ -177,7 +192,9 @@ let sweep ?(words = 16) ?(max_rounds = 64) ?(max_sat_checks = 5000) ~rng aig =
     in
     pack !new_cexs
   done;
+  Instr.count "fraig.rounds" !round;
   (* rebuild with the proven substitutions *)
+  Instr.span ~name:"fraig.rebuild" @@ fun () ->
   let out = Aig.create ~num_inputs:ni ~num_outputs:(Aig.num_outputs aig) in
   let map = Array.make n Aig.lit_false in
   for i = 0 to ni - 1 do

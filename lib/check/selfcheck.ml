@@ -29,11 +29,18 @@ let failed ~stage ~output ~cex ~detail =
   Instr.count "check.failed" 1;
   raise (Check_failed { stage; output; cex; detail })
 
+(* each verification runs under a span named after the pipeline pass it
+   re-checks ("check:aig-opt", "check:cover-min", ...) so the profiler can
+   attribute check-phase time per pass; the prefix keeps the span name
+   distinct from the phase names used for query attribution *)
+let staged ~stage f = Instr.span ~name:("check:" ^ stage) f
+
 (* a counterexample pattern broadcast to all 64 simulation lanes *)
 let words_of_bv ni cex =
   Array.init ni (fun i -> if Bv.get cex i then -1L else 0L)
 
 let verify_netlists ~stage ?rng before after =
+  staged ~stage @@ fun () ->
   Instr.span ~name:"check.cec" (fun () ->
       match Equiv.check ?rng before after with
       | Equiv.Equivalent -> Instr.count "check.verified" 1
@@ -47,6 +54,7 @@ let verify_netlists ~stage ?rng before after =
             ~detail:"result differs from the step's input circuit")
 
 let verify_aigs ~stage ?rng before after =
+  staged ~stage @@ fun () ->
   Instr.span ~name:"check.cec-aig" (fun () ->
       match Equiv.check_aig ?rng before after with
       | Equiv.Equivalent -> Instr.count "check.verified" 1
@@ -62,6 +70,7 @@ let verify_aigs ~stage ?rng before after =
             ~detail:"result differs from the step's input AIG")
 
 let verify_table ~stage ~circuit ~output ~bits ~to_full ~expected =
+  staged ~stage @@ fun () ->
   Instr.span ~name:"check.table" (fun () ->
       let ni = N.num_inputs circuit in
       let size = 1 lsl bits in
@@ -93,6 +102,7 @@ let verify_table ~stage ~circuit ~output ~bits ~to_full ~expected =
 
 let verify_cover ~stage ?(rng = Rng.create 0xCEC) ~circuit ~output ~vars
     ~cover ~complemented () =
+  staged ~stage @@ fun () ->
   Instr.span ~name:"check.cover" (fun () ->
       let ni = N.num_inputs circuit in
       let aig = Aig.create ~num_inputs:ni ~num_outputs:1 in

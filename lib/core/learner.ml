@@ -320,6 +320,7 @@ let learn ?(config = Config.default) box =
     | _ -> false
   in
   Instr.span ~name:"learn" @@ fun () ->
+  Instr.gauge "learn.outputs" (float_of_int no);
   (* ---- steps 1 & 2: grouping + template matching ---- *)
   let matches =
     if over_budget () then None
@@ -470,6 +471,10 @@ let learn ?(config = Config.default) box =
      abandoned to a failing oracle — still gets a (constant) circuit: the
      report's method is the visible trace of the skip *)
   let skip_output method_used po =
+    Instr.count
+      (if method_used = Degraded_fault then "learn.degraded"
+       else "learn.skipped")
+      1;
     N.set_output circuit po (N.const_false circuit);
     reports :=
       {
@@ -585,6 +590,7 @@ let learn ?(config = Config.default) box =
         (* retries spent mid-learning: give this output up as a constant
            and let the siblings proceed — the parallel analogue of
            [Skipped_budget], charged to the oracle instead of the clock *)
+        Instr.count "learn.degraded" 1;
         ( {
             Fbdt.onset = Cover.empty dom.arity;
             offset = Cover.empty dom.arity;
@@ -724,25 +730,34 @@ let learn ?(config = Config.default) box =
           let dom = c.c_dom in
           (* virtual variable -> circuit node (delegates become their
              comparator subcircuit: the input-compression payoff) *)
-          let vars =
-            Array.init dom.arity (fun v ->
-                if v < ni then pi.(v)
-                else
-                  match dom.delegate with
-                  | Some (cmp, _) ->
-                      let lhs = vec_nodes cmp.T.lhs in
-                      (match cmp.T.rhs with
-                      | T.Vec vec ->
-                          B.compare_op circuit cmp.T.cmp_op lhs (vec_nodes vec)
-                      | T.Const k -> B.compare_const circuit cmp.T.cmp_op lhs k)
-                  | None -> assert false)
-          in
-          let node =
-            match c.c_plan with
-            | Build_sop { cover; complemented } ->
-                let n = B.sop circuit vars cover in
-                if complemented then N.not_ circuit n else n
-            | Build_mux { muxes; root } -> build_mux circuit vars muxes root
+          let vars, node =
+            (* merge-time synthesis of the planned cone, under its own
+               span so profiler attribution separates it from the
+               replayed worker time *)
+            Instr.span ~name:"build" @@ fun () ->
+            let vars =
+              Array.init dom.arity (fun v ->
+                  if v < ni then pi.(v)
+                  else
+                    match dom.delegate with
+                    | Some (cmp, _) ->
+                        let lhs = vec_nodes cmp.T.lhs in
+                        (match cmp.T.rhs with
+                        | T.Vec vec ->
+                            B.compare_op circuit cmp.T.cmp_op lhs
+                              (vec_nodes vec)
+                        | T.Const k ->
+                            B.compare_const circuit cmp.T.cmp_op lhs k)
+                    | None -> assert false)
+            in
+            let node =
+              match c.c_plan with
+              | Build_sop { cover; complemented } ->
+                  let n = B.sop circuit vars cover in
+                  if complemented then N.not_ circuit n else n
+              | Build_mux { muxes; root } -> build_mux circuit vars muxes root
+            in
+            (vars, node)
           in
           N.set_output circuit po node;
           (* checked mode: prove the synthesised cone against what the

@@ -1,6 +1,7 @@
 module Bv = Lr_bitvec.Bv
 module Rng = Lr_bitvec.Rng
 module N = Lr_netlist.Netlist
+module Instr = Lr_instr.Instr
 
 let mixture ~rng ~num_inputs ~count =
   let third = (count + 2) / 3 in
@@ -18,6 +19,8 @@ let check_shapes golden candidate =
 
 let accuracy_on ~patterns ~golden ~candidate =
   check_shapes golden candidate;
+  Instr.span ~name:"eval.accuracy" @@ fun () ->
+  Instr.count "eval.patterns" (Array.length patterns);
   let want = N.eval_many golden patterns in
   let got = N.eval_many candidate patterns in
   let hits = ref 0 in

@@ -1,4 +1,5 @@
 module Bv = Lr_bitvec.Bv
+module Instr = Lr_instr.Instr
 
 type node = int
 
@@ -234,6 +235,7 @@ let size t = (stats t).gates2
 let eval_words t words =
   if Array.length words <> num_inputs t then
     invalid_arg "Netlist.eval_words: wrong number of input words";
+  Instr.count "sim.gate-words" t.len;
   let v = Array.make t.len 0L in
   v.(1) <- -1L;
   for n = 0 to t.len - 1 do
@@ -261,6 +263,7 @@ let eval t a =
 
 let eval_many t patterns =
   let np = Array.length patterns in
+  Instr.count "sim.patterns" np;
   let ni = num_inputs t and no = num_outputs t in
   let results = Array.init np (fun _ -> Bv.create no) in
   let words = Array.make ni 0L in

@@ -1,0 +1,20 @@
+let lines (p : Profile.t) =
+  List.filter_map
+    (fun (n : Profile.node) ->
+      let us = int_of_float (Float.round (n.Profile.self_s *. 1e6)) in
+      if us <= 0 then None
+      else begin
+        let stack =
+          String.concat ";" (String.split_on_char '/' n.Profile.path)
+        in
+        Some (Printf.sprintf "%s %d" stack us)
+      end)
+    p.Profile.nodes
+
+let to_string p = String.concat "" (List.map (fun l -> l ^ "\n") (lines p))
+
+let write_file path p =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string p))

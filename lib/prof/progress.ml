@@ -1,0 +1,159 @@
+module Instr = Lr_instr.Instr
+module Json = Lr_instr.Json
+
+let schema = "lr-progress/v1"
+
+let po_name name =
+  if String.length name > 3 && String.sub name 0 3 = "po:" then
+    Some (String.sub name 3 (String.length name - 3))
+  else None
+
+let sink ?(out = print_string) ?(every = 10_000) ?query_budget ?time_budget_s
+    () =
+  let started = ref false in
+  let first = ref nan in
+  let last_ts = ref nan in
+  let queries = ref 0 in
+  let retries = ref 0 in
+  let degraded = ref 0 in
+  let outputs_total = ref None in
+  let outputs_done = ref 0 in
+  let last_bucket = ref 0 in
+  let line kvs =
+    out (Json.to_string (Json.Obj kvs));
+    out "\n"
+  in
+  let t ts = ("t", Json.Float (ts -. !first)) in
+  let ev kind = ("ev", Json.String kind) in
+  let observe ts =
+    if not !started then begin
+      started := true;
+      first := ts;
+      line
+        ([ ev "run_start"; ("schema", Json.String schema); t ts ]
+        @ (match query_budget with
+          | Some b -> [ ("query_budget", Json.Int b) ]
+          | None -> [])
+        @
+        match time_budget_s with
+        | Some b -> [ ("time_budget_s", Json.Float b) ]
+        | None -> [])
+    end;
+    last_ts := ts
+  in
+  let emit = function
+    | Instr.Span_begin { name; depth; ts; _ } -> (
+        observe ts;
+        match po_name name with
+        | Some po -> line [ ev "output"; ("name", Json.String po); t ts ]
+        | None ->
+            if depth <= 1 then
+              line [ ev "phase"; ("phase", Json.String name); t ts ])
+    | Instr.Span_end { name; depth; ts; dur_s; _ } -> (
+        observe ts;
+        match po_name name with
+        | Some po ->
+            incr outputs_done;
+            line
+              ([
+                 ev "output_done";
+                 ("name", Json.String po);
+                 ("seconds", Json.Float dur_s);
+                 ("n", Json.Int !outputs_done);
+               ]
+              @ (match !outputs_total with
+                | Some total -> [ ("of", Json.Int total) ]
+                | None -> [])
+              @ [ t ts ])
+        | None ->
+            if depth <= 1 then
+              line
+                [
+                  ev "phase_end";
+                  ("phase", Json.String name);
+                  ("seconds", Json.Float dur_s);
+                  t ts;
+                ])
+    | Instr.Count { name = "queries"; total; ts; _ } ->
+        observe ts;
+        queries := total;
+        let bucket = total / every in
+        if bucket > !last_bucket then begin
+          last_bucket := bucket;
+          line
+            ([ ev "queries"; ("queries", Json.Int total); t ts ]
+            @ (match query_budget with
+              | Some b when b > 0 ->
+                  [
+                    ("budget", Json.Int b);
+                    ("frac", Json.Float (float_of_int total /. float_of_int b));
+                  ]
+              | _ -> [])
+            @
+            match time_budget_s with
+            | Some b ->
+                [
+                  ("elapsed_s", Json.Float (ts -. !first));
+                  ("time_budget_s", Json.Float b);
+                ]
+            | None -> [])
+        end
+    | Instr.Count { name = "query.retries"; incr = n; total; ts; _ } ->
+        observe ts;
+        retries := total;
+        line [ ev "retry"; ("n", Json.Int n); ("total", Json.Int total); t ts ]
+    | Instr.Count { name = "learn.degraded"; total; ts; path; _ } ->
+        observe ts;
+        degraded := total;
+        line
+          [
+            ev "degraded";
+            ("total", Json.Int total);
+            ("path", Json.String path);
+            t ts;
+          ]
+    | Instr.Count { name = "learn.skipped"; total; ts; path; _ } ->
+        observe ts;
+        line
+          [
+            ev "skipped";
+            ("total", Json.Int total);
+            ("path", Json.String path);
+            t ts;
+          ]
+    | Instr.Count { ts; _ } -> observe ts
+    | Instr.Gauge { name = "learn.outputs"; value; ts; _ } ->
+        observe ts;
+        outputs_total := Some (int_of_float value)
+    | Instr.Gauge { ts; _ } -> observe ts
+  in
+  let flush () =
+    if !started then
+      line
+        [
+          ev "run_end";
+          ("queries", Json.Int !queries);
+          ("retries", Json.Int !retries);
+          ("degraded", Json.Int !degraded);
+          ("outputs_done", Json.Int !outputs_done);
+          t !last_ts;
+        ]
+  in
+  { Instr.emit; flush }
+
+let file ?every ?query_budget ?time_budget_s path =
+  let oc = open_out path in
+  let inner =
+    sink ~out:(output_string oc) ?every ?query_budget ?time_budget_s ()
+  in
+  let closed = ref false in
+  {
+    Instr.emit = (fun e -> if not !closed then inner.Instr.emit e);
+    flush =
+      (fun () ->
+        if not !closed then begin
+          inner.Instr.flush ();
+          close_out oc;
+          closed := true
+        end);
+  }

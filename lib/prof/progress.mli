@@ -1,0 +1,41 @@
+(** Live progress stream (NDJSON, schema [lr-progress/v1]).
+
+    An {!Lr_instr.Instr} sink that translates the raw event stream into
+    a small, stable protocol a supervisor (or the future [lr_serve]
+    daemon) can tail line by line:
+
+    - [run_start] — first observed event; carries the schema tag and
+      the query/time budgets when known;
+    - [phase] / [phase_end] — pipeline phases (depth <= 1 spans);
+    - [output] / [output_done] — per-output conquer spans ([po:*]),
+      with completion counts ([n] of [of]);
+    - [queries] — throttled budget consumption, emitted when the
+      process-wide query total crosses a multiple of [every];
+    - [retry] / [degraded] / [skipped] — fault-handling events,
+      emitted immediately;
+    - [run_end] — written on flush with final totals.
+
+    Every line carries [t], seconds since [run_start]. Because the
+    learner replays worker telemetry through [Instr.collect]/[absorb]
+    in output order, and the [queries] throttle keys on the replayed
+    counter {e totals} rather than on time, the event sequence (with
+    timing fields ignored) is identical at any [--jobs] level. *)
+
+val sink :
+  ?out:(string -> unit) ->
+  ?every:int ->
+  ?query_budget:int ->
+  ?time_budget_s:float ->
+  unit ->
+  Lr_instr.Instr.sink
+(** [out] defaults to stdout; [every] (default 10000) is the query
+    throttle granularity. *)
+
+val file :
+  ?every:int ->
+  ?query_budget:int ->
+  ?time_budget_s:float ->
+  string ->
+  Lr_instr.Instr.sink
+(** File-backed variant; the file is created immediately (raising
+    [Sys_error] on failure) and closed on flush. *)

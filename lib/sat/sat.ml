@@ -43,6 +43,7 @@ type t = {
   mutable conflicts : int;
   mutable decisions : int;
   mutable propagations : int;
+  mutable restarts : int;
 }
 
 let create () =
@@ -65,6 +66,7 @@ let create () =
     conflicts = 0;
     decisions = 0;
     propagations = 0;
+    restarts = 0;
   }
 
 let num_vars t = t.nvars
@@ -350,6 +352,7 @@ let solve ?(assumptions = []) t =
       else if !conflicts_here >= !restart_limit then begin
         conflicts_here := 0;
         restart_limit := !restart_limit * 3 / 2;
+        t.restarts <- t.restarts + 1;
         cancel_until t 0
       end
       else begin
@@ -387,3 +390,4 @@ let value t v =
 let stats_conflicts t = t.conflicts
 let stats_decisions t = t.decisions
 let stats_propagations t = t.propagations
+let stats_restarts t = t.restarts

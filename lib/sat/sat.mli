@@ -35,3 +35,4 @@ val value : t -> int -> bool
 val stats_conflicts : t -> int
 val stats_decisions : t -> int
 val stats_propagations : t -> int
+val stats_restarts : t -> int

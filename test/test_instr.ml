@@ -331,6 +331,126 @@ let test_json_roundtrip () =
   | Ok (Json.List [ Json.Int 10; Json.Float 100.0 ]) -> ()
   | _ -> Alcotest.fail "number classification"
 
+(* --- sinks under synthetic clock skew (advance_clock) --- *)
+
+let jfloat k j = Option.bind (Json.member k j) Json.get_float
+let jstr k j = Option.bind (Json.member k j) Json.get_string
+let jint k j = Option.bind (Json.member k j) Json.get_int
+
+(* advance_clock injects synthetic seconds mid-span; both line sinks must
+   keep their timestamps monotone and stay parseable, and the enclosing
+   span duration must absorb the skew *)
+let test_sinks_under_clock_skew () =
+  with_clean @@ fun () ->
+  ignore (install_ticking_clock ());
+  let jsonl = Buffer.create 256 and chrome = Buffer.create 256 in
+  Instr.set_sinks
+    [
+      Instr.jsonl (Buffer.add_string jsonl);
+      Instr.chrome_trace (Buffer.add_string chrome);
+    ];
+  Instr.span ~name:"outer" (fun () ->
+      Instr.count "ticks" 1;
+      Instr.advance_clock 2.5;
+      Instr.span ~name:"inner" (fun () -> Instr.count "ticks" 1);
+      Instr.advance_clock 0.25;
+      Instr.count "ticks" 1);
+  Instr.flush_sinks ();
+  check "skew recorded" true (Instr.clock_skew_s () >= 2.75);
+  (* every JSONL line parses; ts is monotone non-decreasing; the outer
+     span duration includes the injected skew *)
+  let lines =
+    String.split_on_char '\n' (Buffer.contents jsonl)
+    |> List.filter (fun l -> l <> "")
+  in
+  let last_ts = ref neg_infinity in
+  let outer_dur = ref 0.0 in
+  List.iter
+    (fun line ->
+      match Json.of_string line with
+      | Error e -> Alcotest.fail ("bad JSONL line under skew: " ^ e)
+      | Ok j ->
+          (match jfloat "ts" j with
+          | Some ts ->
+              check "ts monotone under skew" true (ts >= !last_ts);
+              last_ts := ts
+          | None -> Alcotest.fail "line without ts");
+          if jstr "ev" j = Some "span_end" && jstr "name" j = Some "outer"
+          then outer_dur := Option.value ~default:0.0 (jfloat "dur_s" j))
+    lines;
+  check "outer duration includes skew" true (!outer_dur >= 2.75);
+  (* chrome trace still parses as a JSON array with monotone ts *)
+  match Json.of_string (Buffer.contents chrome) with
+  | Error e -> Alcotest.fail ("chrome trace under skew: " ^ e)
+  | Ok (Json.List evs) ->
+      let last = ref neg_infinity in
+      List.iter
+        (fun ev ->
+          match jfloat "ts" ev with
+          | Some ts ->
+              check "chrome ts monotone" true (ts >= !last);
+              last := ts
+          | None -> Alcotest.fail "chrome event without ts")
+        evs;
+      check "chrome has events" true (List.length evs >= 6)
+  | Ok _ -> Alcotest.fail "chrome trace is not an array"
+
+(* --- multi-domain collect / absorb replay --- *)
+
+(* four domains record concurrently into private snapshots; absorbing
+   them in a fixed order must yield one well-formed JSONL stream (no torn
+   or interleaved lines), monotone timestamps, and counter totals that
+   accumulate across the replays in absorb order *)
+let test_multi_domain_absorb_replay () =
+  with_clean @@ fun () ->
+  let snaps =
+    Array.init 4 (fun i ->
+        Domain.spawn (fun () ->
+            snd
+              (Instr.collect (fun () ->
+                   Instr.span ~name:"work" (fun () ->
+                       Instr.count "units" (10 * (i + 1)))))))
+    |> Array.map Domain.join
+  in
+  ignore (install_ticking_clock ());
+  let jsonl = Buffer.create 256 in
+  Instr.set_sinks [ Instr.jsonl (Buffer.add_string jsonl) ];
+  Instr.span ~name:"merge" (fun () ->
+      Array.iter (fun s -> Instr.absorb s) snaps);
+  Instr.flush_sinks ();
+  check_int "all units counted" 100 (Instr.counter_total "units");
+  let lines =
+    String.split_on_char '\n' (Buffer.contents jsonl)
+    |> List.filter (fun l -> l <> "")
+  in
+  (* replayed work spans live under the absorbing span, one per domain *)
+  let last_ts = ref neg_infinity in
+  let work_begins = ref 0 in
+  let totals = ref [] in
+  List.iter
+    (fun line ->
+      match Json.of_string line with
+      | Error e -> Alcotest.fail ("torn or bad line after absorb: " ^ e)
+      | Ok j ->
+          (match jfloat "ts" j with
+          | Some ts ->
+              check "absorbed ts monotone" true (ts >= !last_ts);
+              last_ts := ts
+          | None -> Alcotest.fail "absorbed line without ts");
+          (match (jstr "ev" j, jstr "name" j) with
+          | Some "span_begin", Some "work" ->
+              incr work_begins;
+              check_str "rebased under merge" "merge/work"
+                (Option.get (jstr "path" j))
+          | Some "count", Some "units" ->
+              totals := Option.get (jint "total" j) :: !totals
+          | _ -> ()))
+    lines;
+  check_int "one work span per domain" 4 !work_begins;
+  (* totals strictly increase in absorb order: 10, 30, 60, 100 *)
+  check "totals accumulate in absorb order" true
+    (List.rev !totals = [ 10; 30; 60; 100 ])
+
 let tests =
   [
     Alcotest.test_case "span nesting & events" `Quick test_span_nesting;
@@ -347,4 +467,8 @@ let tests =
     Alcotest.test_case "query attribution" `Quick test_query_attribution;
     Alcotest.test_case "learner phase accounting" `Quick test_learner_phases;
     Alcotest.test_case "json round trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "sinks under clock skew" `Quick
+      test_sinks_under_clock_skew;
+    Alcotest.test_case "multi-domain absorb replay" `Quick
+      test_multi_domain_absorb_replay;
   ]

@@ -1,0 +1,320 @@
+(* Profiler subsystem: self/total attribution math, folded-stacks
+   export, JSONL / Chrome trace round trips, the progress stream's
+   event protocol and its determinism across --jobs, metrics
+   exposition, and the headline overhead invariant: profiling sinks on
+   or off must not change the learned circuit. *)
+
+module Instr = Lr_instr.Instr
+module Json = Lr_instr.Json
+module Profile = Lr_prof.Profile
+module Folded = Lr_prof.Folded
+module Progress = Lr_prof.Progress
+module Metrics = Lr_prof.Metrics
+module Rng = Lr_bitvec.Rng
+module Io = Lr_netlist.Io
+module Cases = Lr_cases.Cases
+module Eval = Lr_eval.Eval
+module Config = Logic_regression.Config
+module Learner = Logic_regression.Learner
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+let check_float msg = Alcotest.(check (float 1e-9)) msg
+
+let with_clean f =
+  Instr.reset_aggregates ();
+  Instr.set_sinks [];
+  Instr.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Instr.set_sinks [];
+      Instr.set_enabled true;
+      Instr.set_clock Unix.gettimeofday;
+      Instr.reset_aggregates ())
+    f
+
+(* deterministic clock: each call advances time by 1 ms *)
+let install_ticking_clock () =
+  let t = ref 0.0 in
+  Instr.set_clock (fun () ->
+      t := !t +. 0.001;
+      !t)
+
+(* the reference workload used by the attribution and round-trip tests:
+   outer(outer-self + inner) with one counter inside inner *)
+let record_workload () =
+  let events = ref [] in
+  Instr.add_sink
+    { emit = (fun e -> events := e :: !events); flush = (fun () -> ()) };
+  Instr.span ~name:"outer" (fun () ->
+      Instr.span ~name:"inner" (fun () -> Instr.count "widgets" 5));
+  List.rev !events
+
+let test_attribution_math () =
+  with_clean @@ fun () ->
+  install_ticking_clock ();
+  let events = record_workload () in
+  let p = Profile.of_events events in
+  check_int "two nodes" 2 (List.length p.Profile.nodes);
+  let outer = Option.get (Profile.find p "outer") in
+  let inner = Option.get (Profile.find p "outer/inner") in
+  (* ticking clock: begin-outer 1ms, begin-inner 2ms, count 3ms,
+     end-inner 4ms, end-outer 5ms -> inner total 2ms, outer total 4ms *)
+  check_float "outer total" 0.004 outer.Profile.total_s;
+  check_float "inner total" 0.002 inner.Profile.total_s;
+  check_float "outer self = total - child" 0.002 outer.Profile.self_s;
+  check_float "inner self = total (leaf)" 0.002 inner.Profile.self_s;
+  check_int "outer calls" 1 outer.Profile.calls;
+  check_float "wall is root total" 0.004 p.Profile.wall_s;
+  (* the counter lands on the innermost open span, globally and per span *)
+  check "global counter" true (List.mem_assoc "widgets" p.Profile.counters);
+  check_int "counter attributed to inner" 5
+    (List.assoc "widgets" inner.Profile.counters);
+  check "outer has no own counter" true (outer.Profile.counters = []);
+  (* folded export: one line per span, self time in microseconds *)
+  check_str "folded lines" "outer 2000\nouter;inner 2000\n"
+    (Folded.to_string p)
+
+let test_jsonl_roundtrip () =
+  with_clean @@ fun () ->
+  install_ticking_clock ();
+  let buf = Buffer.create 256 in
+  Instr.add_sink (Instr.jsonl (Buffer.add_string buf));
+  let events = record_workload () in
+  let direct = Profile.of_events events in
+  match Profile.of_jsonl_string (Buffer.contents buf) with
+  | Error e -> Alcotest.fail ("jsonl parse: " ^ e)
+  | Ok parsed ->
+      check_int "same node count" (List.length direct.Profile.nodes)
+        (List.length parsed.Profile.nodes);
+      List.iter2
+        (fun (a : Profile.node) (b : Profile.node) ->
+          check_str "same path" a.Profile.path b.Profile.path;
+          check_int "same calls" a.Profile.calls b.Profile.calls;
+          check_float ("self of " ^ a.Profile.path) a.Profile.self_s
+            b.Profile.self_s;
+          Alcotest.(check (list (pair string int)))
+            ("counters of " ^ a.Profile.path)
+            a.Profile.counters b.Profile.counters)
+        direct.Profile.nodes parsed.Profile.nodes;
+      Alcotest.(check (list (pair string int)))
+        "global counters survive" direct.Profile.counters
+        parsed.Profile.counters
+
+let test_chrome_roundtrip () =
+  with_clean @@ fun () ->
+  install_ticking_clock ();
+  let buf = Buffer.create 256 in
+  Instr.add_sink (Instr.chrome_trace (Buffer.add_string buf));
+  let events = record_workload () in
+  Instr.flush_sinks ();
+  let direct = Profile.of_events events in
+  match Profile.of_chrome_string (Buffer.contents buf) with
+  | Error e -> Alcotest.fail ("chrome parse: " ^ e)
+  | Ok parsed ->
+      (* spans and their timings survive the µs round trip; counters in
+         the Chrome format are best-effort, so only spans are compared *)
+      check_int "same node count" (List.length direct.Profile.nodes)
+        (List.length parsed.Profile.nodes);
+      List.iter2
+        (fun (a : Profile.node) (b : Profile.node) ->
+          check_str "same path" a.Profile.path b.Profile.path;
+          check_int "same calls" a.Profile.calls b.Profile.calls;
+          Alcotest.(check (float 1e-6))
+            ("self of " ^ a.Profile.path)
+            a.Profile.self_s b.Profile.self_s)
+        direct.Profile.nodes parsed.Profile.nodes
+
+(* --- progress stream protocol --- *)
+
+let progress_lines buf =
+  String.split_on_char '\n' (Buffer.contents buf)
+  |> List.filter (fun l -> l <> "")
+  |> List.map (fun l ->
+         match Json.of_string l with
+         | Ok j -> j
+         | Error e -> Alcotest.fail ("bad progress line: " ^ e ^ ": " ^ l))
+
+let jstr k j = Option.bind (Json.member k j) Json.get_string
+let jint k j = Option.bind (Json.member k j) Json.get_int
+
+let test_progress_protocol () =
+  with_clean @@ fun () ->
+  install_ticking_clock ();
+  let buf = Buffer.create 256 in
+  Instr.set_sinks
+    [
+      Progress.sink ~out:(Buffer.add_string buf) ~every:10 ~query_budget:100
+        ();
+    ];
+  Instr.gauge "learn.outputs" 2.0;
+  Instr.span ~name:"templates" (fun () -> ());
+  Instr.span ~name:"po:y0" (fun () -> Instr.count "queries" 15);
+  Instr.span ~name:"po:y1" (fun () -> Instr.count "queries" 10);
+  Instr.flush_sinks ();
+  let lines = progress_lines buf in
+  let evs = List.map (fun j -> Option.get (jstr "ev" j)) lines in
+  Alcotest.(check (list string))
+    "event sequence"
+    [
+      "run_start";
+      "phase";
+      "phase_end";
+      "output";
+      "queries";
+      "output_done";
+      "output";
+      "queries";
+      "output_done";
+      "run_end";
+    ]
+    evs;
+  let find ev = List.find (fun j -> jstr "ev" j = Some ev) lines in
+  check_int "budget on run_start" 100
+    (Option.get (jint "query_budget" (find "run_start")));
+  check_int "first throttled total" 15
+    (Option.get (jint "queries" (find "queries")));
+  let dones = List.filter (fun j -> jstr "ev" j = Some "output_done") lines in
+  List.iteri
+    (fun i j ->
+      check_int "completion count" (i + 1) (Option.get (jint "n" j));
+      check_int "completion denominator" 2 (Option.get (jint "of" j)))
+    dones;
+  let last = find "run_end" in
+  check_int "final queries" 25 (Option.get (jint "queries" last));
+  (* every line carries a non-negative relative timestamp *)
+  List.iter
+    (fun j ->
+      match Option.bind (Json.member "t" j) Json.get_float with
+      | Some t -> check "t >= 0" true (t >= 0.0)
+      | None -> Alcotest.fail "line without t")
+    lines
+
+(* --- profiling neutrality and --jobs determinism on a real case --- *)
+
+let fast =
+  {
+    Config.default with
+    Config.support_rounds = 192;
+    node_rounds = 32;
+    max_tree_nodes = 512;
+    optimize_rounds = 1;
+    fraig_words = 4;
+    template_samples = 32;
+  }
+
+(* strip the wall-clock fields so event sequences can be compared
+   across runs and job counts *)
+let strip_timing j =
+  match j with
+  | Json.Obj kvs ->
+      Json.Obj
+        (List.filter
+           (fun (k, _) ->
+             k <> "t" && k <> "seconds" && k <> "elapsed_s" && k <> "frac")
+           kvs)
+  | j -> j
+
+let learn_case ~jobs ~profiled () =
+  Instr.reset_aggregates ();
+  let progress = Buffer.create 4096 in
+  if profiled then
+    Instr.set_sinks
+      [
+        Instr.jsonl (fun _ -> ()) (* exercise the event path too *);
+        Progress.sink ~out:(Buffer.add_string progress) ~every:1000 ();
+      ]
+  else Instr.set_sinks [];
+  Fun.protect ~finally:(fun () -> Instr.set_sinks [])
+  @@ fun () ->
+  let spec = Cases.find "case_7" in
+  let box = Cases.blackbox ~budget:150_000 spec in
+  let report = Learner.learn ~config:{ fast with Config.seed = 3; jobs } box in
+  Instr.flush_sinks ();
+  let seq =
+    progress_lines progress
+    |> List.map (fun j -> Json.to_string (strip_timing j))
+  in
+  (Io.write report.Learner.circuit, report.Learner.queries, seq)
+
+let test_profiling_is_neutral () =
+  with_clean @@ fun () ->
+  let bare_net, bare_q, _ = learn_case ~jobs:1 ~profiled:false () in
+  let prof_net, prof_q, seq1 = learn_case ~jobs:1 ~profiled:true () in
+  check_str "profiling does not change the circuit" bare_net prof_net;
+  check_int "profiling does not change the query count" bare_q prof_q;
+  let par_net, par_q, seq4 = learn_case ~jobs:4 ~profiled:true () in
+  check_str "jobs=4 profiled circuit identical" bare_net par_net;
+  check_int "jobs=4 profiled queries identical" bare_q par_q;
+  Alcotest.(check (list string))
+    "progress sequence identical at jobs=4 (timing stripped)" seq1 seq4
+
+(* --- metrics exposition --- *)
+
+let test_metrics_exposition () =
+  with_clean @@ fun () ->
+  install_ticking_clock ();
+  Instr.span ~name:"outer" (fun () -> Instr.count "widgets" 5);
+  let text = Metrics.render (Metrics.of_instr ()) in
+  let has needle =
+    let nl = String.length needle and tl = String.length text in
+    let rec go i =
+      i + nl <= tl && (String.sub text i nl = needle || go (i + 1))
+    in
+    go 0
+  in
+  check "span seconds family" true (has "# TYPE lr_span_seconds_total counter");
+  check "span sample" true (has "lr_span_seconds_total{path=\"outer\"}");
+  check "counter total sample" true
+    (has "lr_counter_total{name=\"widgets\"} 5");
+  check "per-span counter sample" true
+    (has "lr_counter_by_span_total{path=\"outer\",name=\"widgets\"} 5");
+  check "gc family" true (has "# TYPE lr_gc_minor_words_total counter");
+  check "heap gauge" true (has "# TYPE lr_gc_heap_words gauge");
+  (* name sanitization and label escaping *)
+  check_str "dots and dashes" "sim_gate_words"
+    (Metrics.sanitize_name "sim.gate-words");
+  check_str "leading digit" "_9lives" (Metrics.sanitize_name "9lives");
+  let weird =
+    Metrics.render
+      [
+        {
+          Metrics.name = "x";
+          help = "h";
+          kind = `Gauge;
+          samples =
+            [
+              ([ ("l", "a\"b\\c\nd") ], 1.0);
+              ([ ("l", "dropped") ], Float.nan);
+            ];
+        };
+      ]
+  in
+  check "label escaped" true
+    (let needle = "x{l=\"a\\\"b\\\\c\\nd\"} 1" in
+     let nl = String.length needle and tl = String.length weird in
+     let rec go i =
+       i + nl <= tl && (String.sub weird i nl = needle || go (i + 1))
+     in
+     go 0);
+  check "non-finite sample skipped" true
+    (not
+       (let needle = "dropped" in
+        let nl = String.length needle and tl = String.length weird in
+        let rec go i =
+          i + nl <= tl && (String.sub weird i nl = needle || go (i + 1))
+        in
+        go 0))
+
+let tests =
+  [
+    Alcotest.test_case "attribution math & folded export" `Quick
+      test_attribution_math;
+    Alcotest.test_case "jsonl round trip" `Quick test_jsonl_roundtrip;
+    Alcotest.test_case "chrome round trip" `Quick test_chrome_roundtrip;
+    Alcotest.test_case "progress protocol" `Quick test_progress_protocol;
+    Alcotest.test_case "profiling neutral & jobs-invariant" `Quick
+      test_profiling_is_neutral;
+    Alcotest.test_case "metrics exposition" `Quick test_metrics_exposition;
+  ]
