@@ -24,6 +24,10 @@ module Instr = Lr_instr.Instr
 module Json = Lr_instr.Json
 module History = Lr_report.History
 module Heartbeat = Lr_report.Heartbeat
+module Metrics = Lr_prof.Metrics
+module Log = Lr_obs.Log
+module Alerts = Lr_obs.Alerts
+module Server = Lr_obs.Server
 
 (* set once by the driver from --seed / --time-budget / --check, read
    everywhere *)
@@ -33,6 +37,10 @@ let check_level = ref Config.Off
 let jobs = ref 1
 let fault_spec = ref None
 let retry_attempts = ref 1
+
+(* armed by --alerts; its firing total lands in the bench report so
+   lr_report check --deny-alerts can gate on it *)
+let alerts_engine : Alerts.t option ref = ref None
 
 (* accumulated across every learner run so the JSON report can flag
    best-effort circuits: the regression gate refuses degraded reports *)
@@ -468,6 +476,11 @@ let json_of_rows rows =
          regression gate keys on this *)
       ("jobs", Json.Int !jobs);
       ("degraded", Json.Int !degraded_total);
+      ( "alerts_fired",
+        Json.Int
+          (match !alerts_engine with
+          | Some e -> Alerts.total_fired e
+          | None -> 0) );
       ( "rows",
         Json.List
           (List.map
@@ -521,6 +534,8 @@ let () =
   let jobs_v, args = extract "--jobs" args in
   let faults_v, args = extract "--faults" args in
   let retry_v, args = extract "--retry" args in
+  let alerts_v, args = extract "--alerts" args in
+  let listen_v, args = extract "--listen" args in
   let args =
     List.filter (fun a -> a <> "--quick" && a <> "--metrics") args
   in
@@ -574,17 +589,65 @@ let () =
           Printf.eprintf "bad --retry value: %s\n" v;
           exit 1)
   | None -> ());
+  Log.set_sinks [ Log.stderr_sink () ];
+  (match alerts_v with
+  | Some v -> (
+      match Alerts.load v with
+      | Ok spec ->
+          alerts_engine :=
+            Some (Alerts.create ?time_budget_s:!time_budget spec)
+      | Error msg ->
+          Printf.eprintf "bad --alerts value: %s\n" msg;
+          exit 1)
+  | None -> ());
+  let server =
+    match listen_v with
+    | None -> None
+    | Some v -> (
+        match int_of_string_opt v with
+        | None ->
+            Printf.eprintf "bad --listen value: %s\n" v;
+            exit 1
+        | Some port -> (
+            let state =
+              Server.create_state ?time_budget_s:!time_budget ()
+            in
+            match Server.start ~port state with
+            | Error e ->
+                Printf.eprintf "--listen: %s\n" e;
+                exit 1
+            | Ok srv ->
+                Log.info
+                  ~fields:[ Log.int "port" (Server.port srv) ]
+                  "observability server listening on 127.0.0.1";
+                Some (state, srv)))
+  in
   Instr.set_sinks
     ((match trace with
      | Some "-" -> [ Instr.chrome_trace print_string ]
      | Some f -> [ Instr.chrome_trace_file f ]
      | None -> [])
     @ (if metrics then [ Instr.stderr_summary () ] else [])
+    @ (match float_of "--heartbeat" heartbeat with
+      | Some interval_s ->
+          [ Heartbeat.sink ?budget_s:!time_budget ~interval_s () ]
+      | None -> [])
+    @ (match !alerts_engine with
+      | Some engine -> [ Alerts.sink engine ]
+      | None -> [])
     @
-    match float_of "--heartbeat" heartbeat with
-    | Some interval_s ->
-        [ Heartbeat.sink ?budget_s:!time_budget ~interval_s () ]
+    match server with
+    | Some (state, _) ->
+        [
+          Server.observer state;
+          Server.metrics_sink
+            ~render:(fun () -> Metrics.render (Metrics.of_instr ()))
+            state;
+        ]
     | None -> []);
+  (match server with
+  | Some (state, _) -> Log.add_sink (Server.log_sink state)
+  | None -> ());
   let what = match args with [] -> "all" | w :: _ -> w in
   let rows = ref [] in
   (match what with
@@ -605,6 +668,11 @@ let () =
         other;
       exit 1);
   Instr.flush_sinks ();
+  (match server with
+  | Some (state, srv) ->
+      Server.mark_done state;
+      Server.stop srv
+  | None -> ());
   let report = lazy (json_of_rows !rows) in
   (match json with
   | Some "-" -> print_endline (Json.to_string (Lazy.force report))

@@ -22,6 +22,9 @@ module Progress = Lr_prof.Progress
 module Metrics = Lr_prof.Metrics
 module Finding = Lr_check.Finding
 module Faults = Lr_faults.Faults
+module Log = Lr_obs.Log
+module Alerts = Lr_obs.Alerts
+module Server = Lr_obs.Server
 
 open Cmdliner
 
@@ -192,6 +195,47 @@ let retry_backoff_arg =
   in
   Arg.(value & opt float 0.001 & info [ "retry-backoff" ] ~docv:"SECS" ~doc)
 
+let listen_arg =
+  let doc =
+    "Serve live observability over HTTP on 127.0.0.1:$(docv) while the \
+     run executes: GET /metrics (Prometheus text), /progress (chunked \
+     lr-progress/v1 NDJSON), /healthz (phase, outputs done, budget \
+     remaining), /logs?level=LEVEL (lr-log/v1 NDJSON). Port 0 picks an \
+     ephemeral port (printed to stderr). Off by default, with zero \
+     overhead on the run."
+  in
+  Arg.(value & opt (some int) None & info [ "listen" ] ~docv:"PORT" ~doc)
+
+let alerts_arg =
+  let doc =
+    "Arm alert rules over the live telemetry (compact form, e.g. \
+     $(b,degraded>0,retry_rate>0.05@10s,budget_burn>2x), or the path \
+     of an lr-alerts/v1 JSON file). Fired rules emit warn-level log \
+     records and an alerts section in the run report, which \
+     $(b,lr_report check --deny-alerts) gates on."
+  in
+  Arg.(value & opt (some string) None & info [ "alerts" ] ~docv:"SPEC" ~doc)
+
+let log_level_conv =
+  let parse s =
+    match Log.level_of_string s with Ok l -> Ok l | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, fun ppf l -> Format.pp_print_string ppf (Log.level_to_string l))
+
+let log_level_arg =
+  let doc =
+    "Threshold for structured stderr logging: $(b,debug), $(b,info), \
+     $(b,warn) (default) or $(b,error)."
+  in
+  Arg.(value & opt log_level_conv Log.Warn & info [ "log-level" ] ~docv:"LEVEL" ~doc)
+
+let log_file_arg =
+  let doc =
+    "Also write structured log records to $(docv) as NDJSON (schema \
+     lr-log/v1, one record per line)."
+  in
+  Arg.(value & opt (some string) None & info [ "log" ] ~docv:"FILE" ~doc)
+
 (* fail before the (possibly long) run, with a clean message instead of
    an uncaught Sys_error at the end of it *)
 let open_out_or_die ~flag path =
@@ -217,7 +261,13 @@ let setup_sinks ?heartbeat ?time_budget ?query_budget ~trace ~trace_jsonl
           [ Instr.jsonl_file f ]
       | None -> [])
     @ (match progress with
-      | Some "-" -> [ Progress.sink ?query_budget ?time_budget_s:time_budget () ]
+      | Some "-" ->
+          (* the locked writer keeps NDJSON lines atomic against
+             heartbeat/log lines under --jobs N *)
+          [
+            Progress.sink ~out:(Log.locked_write stdout) ?query_budget
+              ?time_budget_s:time_budget ();
+          ]
       | Some f -> (
           try [ Progress.file ?query_budget ?time_budget_s:time_budget f ]
           with Sys_error msg ->
@@ -418,21 +468,47 @@ let print_phase_breakdown oc report =
 
 let learn_run case preset seed budget eval_patterns support_rounds no_templates
     no_grouping out trace trace_jsonl progress metrics metrics_out json history
-    heartbeat time_budget check jobs faults retry_attempts retry_backoff =
+    heartbeat time_budget check jobs faults retry_attempts retry_backoff listen
+    alerts log_level log_file =
+  (* structured logging is on for the CLI (stderr, human format) so the
+     library's warn/error records — and fatal argument errors — have a
+     sink from the first line on *)
+  Log.set_level log_level;
+  Log.set_sinks [ Log.stderr_sink () ];
+  (match log_file with
+  | None -> ()
+  | Some path -> (
+      try Log.add_sink (Log.ndjson_file path)
+      with Sys_error msg ->
+        Log.error ~fields:[ Log.str "file" msg ] "cannot open --log file";
+        exit 1));
+  let die fmt =
+    Printf.ksprintf
+      (fun m ->
+        Log.error m;
+        exit 1)
+      fmt
+  in
   let fault_spec =
     match faults with
     | None -> None
     | Some arg -> (
         match Faults.load arg with
         | Ok spec -> Some spec
-        | Error msg ->
-            Printf.eprintf "error: bad --faults: %s\n" msg;
-            exit 1)
+        | Error msg -> die "bad --faults: %s" msg)
   in
-  if retry_attempts < 1 then begin
-    Printf.eprintf "error: --retry must be >= 1\n";
-    exit 1
-  end;
+  let alerts_engine =
+    match alerts with
+    | None -> None
+    | Some arg -> (
+        match Alerts.load arg with
+        | Ok spec ->
+            Some
+              (Alerts.create ?query_budget:budget ?time_budget_s:time_budget
+                 spec)
+        | Error msg -> die "bad --alerts: %s" msg)
+  in
+  if retry_attempts < 1 then die "--retry must be >= 1";
   let config =
     {
       preset with
@@ -458,14 +534,50 @@ let learn_run case preset seed budget eval_patterns support_rounds no_templates
     setup_sinks ?heartbeat ?time_budget ?query_budget:budget ~trace
       ~trace_jsonl ~progress ~metrics ()
   in
+  (match alerts_engine with
+  | Some engine -> Instr.add_sink (Alerts.sink engine)
+  | None -> ());
+  let server =
+    match listen with
+    | None -> None
+    | Some p -> (
+        let state =
+          Server.create_state ?query_budget:budget ?time_budget_s:time_budget
+            ()
+        in
+        match Server.start ~port:p state with
+        | Error e -> die "--listen: %s" e
+        | Ok srv ->
+            Instr.add_sink (Server.observer state);
+            Instr.add_sink
+              (Server.metrics_sink
+                 ~render:(fun () -> Metrics.render (Metrics.of_instr ()))
+                 state);
+            Instr.add_sink
+              (Progress.sink ~out:(Server.progress_out state)
+                 ?query_budget:budget ?time_budget_s:time_budget ());
+            Log.add_sink (Server.log_sink state);
+            Log.info
+              ~fields:[ Log.int "port" (Server.port srv) ]
+              "observability server listening on 127.0.0.1";
+            Some (state, srv))
+  in
   let report =
     try Learner.learn ~config box
     with Lr_check.Selfcheck.Check_failed _ as e ->
       finish_sinks ();
-      Printf.eprintf "error: %s\n" (Printexc.to_string e);
+      (match server with
+      | Some (state, srv) ->
+          Server.mark_done state;
+          Server.stop srv
+      | None -> ());
+      Log.error (Printexc.to_string e);
       exit 2
   in
   finish_sinks ();
+  (* the run is over: complete streaming /progress clients, keep serving
+     final /metrics and /healthz until artifacts are written *)
+  (match server with Some (state, _) -> Server.mark_done state | None -> ());
   let c = report.Learner.circuit in
   (* when an artifact streams to stdout, the human summary moves to
      stderr so the JSON stays parseable *)
@@ -502,6 +614,11 @@ let learn_run case preset seed budget eval_patterns support_rounds no_templates
       "  NOTE: %d output(s) degraded to constants after unrecoverable \
        query faults\n"
       report.Learner.degraded;
+  (match alerts_engine with
+  | Some engine ->
+      Printf.fprintf hout "  alerts:  %d rule(s) fired\n"
+        (Alerts.total_fired engine)
+  | None -> ());
   print_phase_breakdown hout report;
   (match report.Learner.matches with
   | Some m when m.T.linears <> [] || m.T.comparators <> [] ->
@@ -544,6 +661,14 @@ let learn_run case preset seed budget eval_patterns support_rounds no_templates
      let report_json =
        json_of_run ~case ~seed ~time_budget ~eval_patterns ~accuracy
          ~faults:fault_spec report
+     in
+     (* the alerts section only exists when --alerts armed the engine,
+        so unarmed runs keep the exact lr-run-report/v1 key set *)
+     let report_json =
+       match (alerts_engine, report_json) with
+       | Some engine, Json.Obj kvs ->
+           Json.Obj (kvs @ [ ("alerts", Alerts.report_json engine) ])
+       | _ -> report_json
      in
      (match (json, json_oc) with
      | Some "-", _ -> print_endline (Json.to_string report_json)
@@ -620,6 +745,8 @@ let learn_run case preset seed budget eval_patterns support_rounds no_templates
       Io.write_file c path;
       Printf.fprintf hout "written to %s\n" path
   | None -> ());
+  (match server with Some (_, srv) -> Server.stop srv | None -> ());
+  Log.flush ();
   (* all artifacts are written first: a degraded run is still a run, the
      distinct exit code just refuses to pass for a healthy one *)
   if report.Learner.degraded > 0 then 3 else 0
@@ -634,7 +761,8 @@ let learn_cmd =
       $ out_arg $ trace_arg $ trace_jsonl_arg $ progress_arg $ metrics_arg
       $ metrics_out_arg $ json_arg $ history_arg $ heartbeat_arg
       $ time_budget_arg $ check_arg $ jobs_arg $ faults_arg $ retry_arg
-      $ retry_backoff_arg)
+      $ retry_backoff_arg $ listen_arg $ alerts_arg $ log_level_arg
+      $ log_file_arg)
 
 (* ---------- baseline ---------- *)
 

@@ -149,7 +149,17 @@ let max_time_arg =
     & opt (some fraction_conv) None
     & info [ "max-time-regress" ] ~docv:"FRAC" ~doc)
 
-let check_run old_path new_path case method_ max_gate min_acc max_time =
+(* Alert firings recorded in a report: run reports carry an "alerts"
+   object with a "fired" total, bench reports a flat "alerts_fired". *)
+let alerts_fired_of_report report =
+  match Option.bind (Json.member "alerts" report) (Json.member "fired") with
+  | Some v -> Option.value ~default:0 (Json.get_int v)
+  | None ->
+      Option.value ~default:0
+        (Option.bind (Json.member "alerts_fired" report) Json.get_int)
+
+let check_run old_path new_path case method_ max_gate min_acc max_time
+    deny_alerts =
   (* refuse cross-parallelism comparisons outright: the time columns
      would not be like for like *)
   let old_report = load_report old_path and new_report = load_report new_path in
@@ -160,6 +170,28 @@ let check_run old_path new_path case method_ max_gate min_acc max_time =
       "jobs mismatch: %s ran with jobs=%d, %s with jobs=%d — record a \
        baseline at the same parallelism level"
       old_path old_jobs new_path new_jobs;
+  (* the alert gate runs before the degraded refusal: a fault-injected
+     run that fired its rules should report the firing (exit 1), not be
+     rejected as an unusable baseline (exit 2) *)
+  if deny_alerts then begin
+    let fired =
+      List.filter_map
+        (fun (path, report) ->
+          match alerts_fired_of_report report with
+          | 0 -> None
+          | n -> Some (path, n))
+        [ (old_path, old_report); (new_path, new_report) ]
+    in
+    match fired with
+    | [] -> ()
+    | fired ->
+        List.iter
+          (fun (path, n) ->
+            Printf.printf "ALERTS: %s fired %d alert(s)\n" path n)
+          fired;
+        print_endline "check failed: alerts fired (--deny-alerts)";
+        exit 1
+  end;
   (* likewise refuse degraded runs: outputs emitted as best-effort
      constants after query faults make size/accuracy incomparable *)
   List.iter
@@ -191,13 +223,21 @@ let check_run old_path new_path case method_ max_gate min_acc max_time =
       Printf.printf "check failed: %d regression(s)\n" (List.length vs);
       1
 
+let deny_alerts_arg =
+  let doc =
+    "Fail (exit 1) when either report recorded fired alert rules (a run \
+     report's alerts section, or a bench report's alerts_fired count)."
+  in
+  Arg.(value & flag & info [ "deny-alerts" ] ~doc)
+
 let check_cmd =
   let doc = "compare two reports and exit nonzero on a regression" in
   Cmd.v
     (Cmd.info "check" ~doc)
     Term.(
       const check_run $ old_pos $ new_pos $ case_filter_arg
-      $ method_filter_arg $ max_gate_arg $ min_accuracy_arg $ max_time_arg)
+      $ method_filter_arg $ max_gate_arg $ min_accuracy_arg $ max_time_arg
+      $ deny_alerts_arg)
 
 (* ---------- log ---------- *)
 

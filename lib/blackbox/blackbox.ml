@@ -1,6 +1,7 @@
 module Bv = Lr_bitvec.Bv
 module N = Lr_netlist.Netlist
 module Instr = Lr_instr.Instr
+module Log = Lr_obs.Log
 module Histogram = Lr_report.Histogram
 module Faults = Lr_faults.Faults
 
@@ -178,7 +179,15 @@ let run_provider t patterns =
    process never blocks. *)
 let rec faulted_batch t f patterns ~n ~attempt =
   if Faults.attempt_fails f ~attempt then
-    if attempt + 1 >= max 1 t.retry.Faults.max_attempts then
+    if attempt + 1 >= max 1 t.retry.Faults.max_attempts then begin
+      Log.warn ~key:"blackbox.failed"
+        ~fields:
+          [
+            Log.int "key" (Faults.key f);
+            Log.int "ordinal" t.used;
+            Log.int "attempts" (attempt + 1);
+          ]
+        "query batch failed permanently; retry policy exhausted";
       raise
         (Faults.Query_failed
            {
@@ -186,9 +195,19 @@ let rec faulted_batch t f patterns ~n ~attempt =
              ordinal = t.used;
              attempts = attempt + 1;
            })
+    end
     else begin
       bump_retries t 1;
-      Instr.advance_clock (Faults.backoff_delay t.retry ~attempt);
+      let backoff = Faults.backoff_delay t.retry ~attempt in
+      Log.debug ~key:"blackbox.retry"
+        ~fields:
+          [
+            Log.int "key" (Faults.key f);
+            Log.int "attempt" (attempt + 1);
+            Log.float "backoff_s" backoff;
+          ]
+        "transient query failure; backing off and retrying";
+      Instr.advance_clock backoff;
       faulted_batch t f patterns ~n ~attempt:(attempt + 1)
     end
   else begin

@@ -14,6 +14,7 @@ module Bdd = Lr_bdd.Bdd
 module Aig = Lr_aig.Aig
 module Opt = Lr_aig.Opt
 module Instr = Lr_instr.Instr
+module Log = Lr_obs.Log
 module Histogram = Lr_report.Histogram
 module Gcstat = Lr_report.Gcstat
 module Selfcheck = Lr_check.Selfcheck
@@ -316,11 +317,22 @@ let learn ?(config = Config.default) box =
     match config.Config.time_budget_s with
     | Some b when Instr.now () -. t0 >= b ->
         budget_hit := true;
+        Log.warn
+          ~fields:[ Log.float "budget_s" b ]
+          "time budget exceeded; no new work starts";
         true
     | _ -> false
   in
   Instr.span ~name:"learn" @@ fun () ->
   Instr.gauge "learn.outputs" (float_of_int no);
+  Log.info
+    ~fields:
+      [
+        Log.int "inputs" ni;
+        Log.int "outputs" no;
+        Log.int "jobs" config.Config.jobs;
+      ]
+    "learn started";
   (* ---- steps 1 & 2: grouping + template matching ---- *)
   let matches =
     if over_budget () then None
@@ -334,7 +346,11 @@ let learn ?(config = Config.default) box =
               (T.scan ~samples:config.Config.template_samples
                  ~prop_cubes:config.Config.template_prop_cubes
                  ~rng:template_rng box)
-          with Faults.Query_failed _ -> None
+          with Faults.Query_failed _ ->
+            Log.warn
+              "template scan failed under faults; falling back to generic \
+               conquer";
+            None
         else None)
   in
   let reports = ref [] in
@@ -464,6 +480,9 @@ let learn ?(config = Config.default) box =
           with Faults.Query_failed _ ->
             (* support stats serve every remaining output: an unretryable
                fault here degrades them all, best-effort constants *)
+            Log.error
+              "support identification failed under faults; degrading all \
+               remaining outputs";
             support_failed := true;
             None)
   in
@@ -471,6 +490,15 @@ let learn ?(config = Config.default) box =
      abandoned to a failing oracle — still gets a (constant) circuit: the
      report's method is the visible trace of the skip *)
   let skip_output method_used po =
+    Log.warn ~key:"learn.skip"
+      ~fields:
+        [
+          Log.int "output" po;
+          Log.str "method"
+            (if method_used = Degraded_fault then "degraded-fault"
+             else "skipped-budget");
+        ]
+      "output degraded to a constant";
     Instr.count
       (if method_used = Degraded_fault then "learn.degraded"
        else "learn.skipped")
@@ -590,6 +618,9 @@ let learn ?(config = Config.default) box =
         (* retries spent mid-learning: give this output up as a constant
            and let the siblings proceed — the parallel analogue of
            [Skipped_budget], charged to the oracle instead of the clock *)
+        Log.warn ~key:"learn.degraded"
+          ~fields:[ Log.int "output" po ]
+          "oracle gave up mid-learning; output degraded to a constant";
         Instr.count "learn.degraded" 1;
         ( {
             Fbdt.onset = Cover.empty dom.arity;
@@ -901,6 +932,18 @@ let learn ?(config = Config.default) box =
          domain_time)
   in
   let outputs = List.sort (fun a b -> compare a.output b.output) !reports in
+  let degraded_count =
+    List.length (List.filter (fun r -> r.method_used = Degraded_fault) outputs)
+  in
+  Log.info
+    ~fields:
+      [
+        Log.int "queries" (Box.queries_used box);
+        Log.int "retries" (Box.retries_used box);
+        Log.int "degraded" degraded_count;
+        Log.float "elapsed_s" (Instr.now () -. t0);
+      ]
+    "learn finished";
   {
     circuit;
     outputs;
@@ -914,9 +957,7 @@ let learn ?(config = Config.default) box =
     retries = Box.retries_used box;
     phase_retries;
     faults_seen = Box.faults_seen box;
-    degraded =
-      List.length
-        (List.filter (fun r -> r.method_used = Degraded_fault) outputs);
+    degraded = degraded_count;
     budget_exceeded = !budget_hit;
     check_level = config.Config.check_level;
     checks_verified = !checks_verified;

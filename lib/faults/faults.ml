@@ -1,6 +1,7 @@
 module Bv = Lr_bitvec.Bv
 module Rng = Lr_bitvec.Rng
 module Json = Lr_instr.Json
+module Log = Lr_obs.Log
 
 (* ---------- retry policy ---------- *)
 
@@ -300,6 +301,7 @@ let in_window t q =
   && (t.spec.duration = max_int || q - t.spec.onset < t.spec.duration)
 
 let commit t outs =
+  let served_before = t.served and corrupt_before = t.corrupt in
   let outs =
     match t.spec.corruption with
     | None ->
@@ -322,6 +324,21 @@ let commit t outs =
           outs
   in
   t.batch <- t.batch + 1;
+  if t.corrupt > corrupt_before then
+    Log.debug ~key:"faults.corrupt"
+      ~fields:
+        [
+          Log.int "key" t.key;
+          Log.int "victim" t.spec.victim;
+          Log.int "corrupted" (t.corrupt - corrupt_before);
+        ]
+      "fault schedule corrupted query answers";
+  (match t.spec.exhaust_after with
+  | Some n when served_before < n && t.served >= n ->
+      Log.warn
+        ~fields:[ Log.int "key" t.key; Log.int "after" n ]
+        "fault stream reports premature budget exhaustion"
+  | _ -> ());
   outs
 
 let exhausted t =

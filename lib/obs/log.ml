@@ -1,0 +1,199 @@
+module Instr = Lr_instr.Instr
+module Json = Lr_instr.Json
+
+type level = Debug | Info | Warn | Error
+
+let level_to_string = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string = function
+  | "debug" -> Ok Debug
+  | "info" -> Ok Info
+  | "warn" -> Ok Warn
+  | "error" -> Ok Error
+  | s -> Error (Printf.sprintf "unknown log level %S (debug|info|warn|error)" s)
+
+let severity = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+let of_severity = function 0 -> Debug | 1 -> Info | 2 -> Warn | _ -> Error
+
+type record = {
+  ts : float;
+  level : level;
+  msg : string;
+  span : string;
+  fields : (string * Json.t) list;
+}
+
+type sink = { emit : record -> unit; flush : unit -> unit }
+
+let schema = "lr-log/v1"
+
+(* Threshold is read from worker domains (any domain may log); an atomic
+   int keeps that read well-defined without a lock on the hot path. *)
+let threshold = Atomic.make (severity Info)
+let set_level l = Atomic.set threshold (severity l)
+let get_level () = of_severity (Atomic.get threshold)
+
+(* [state_mu] guards the sink list and rate-limit buckets; emission runs
+   under it so concurrent records from worker domains serialize whole.
+   [out_mu] guards raw channel writes and is deliberately separate:
+   heartbeat / progress streams take only [out_mu], so they can never
+   deadlock against a sink that also writes through {!locked_write}
+   (lock order is always state_mu -> out_mu). *)
+let state_mu = Mutex.create ()
+let out_mu = Mutex.create ()
+let sinks : sink list ref = ref []
+
+let with_lock mu f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+let set_sinks l = with_lock state_mu (fun () -> sinks := l)
+let add_sink s = with_lock state_mu (fun () -> sinks := !sinks @ [ s ])
+
+let flush () =
+  with_lock state_mu (fun () -> List.iter (fun s -> s.flush ()) !sinks)
+
+(* Token bucket per [?key], clocked by Instr.now so fault-injected
+   backoff (synthetic skew) refills it exactly like real time. *)
+type bucket = { mutable tokens : float; mutable last : float; mutable dropped : int }
+
+let buckets : (string, bucket) Hashtbl.t = Hashtbl.create 16
+let default_burst = 10
+let default_per_s = 1.0
+let rl_burst = ref default_burst
+let rl_per_s = ref default_per_s
+
+let set_rate_limit ~burst ~per_s =
+  with_lock state_mu (fun () ->
+      rl_burst := max 1 burst;
+      rl_per_s := Float.max 0. per_s)
+
+let reset () =
+  with_lock state_mu (fun () ->
+      sinks := [];
+      Hashtbl.reset buckets;
+      rl_burst := default_burst;
+      rl_per_s := default_per_s);
+  Atomic.set threshold (severity Info)
+
+(* Called under [state_mu]. Returns whether the record is admitted plus
+   a [suppressed] field carrying the drop count when the key re-opens. *)
+let admit key ts =
+  let b =
+    match Hashtbl.find_opt buckets key with
+    | Some b -> b
+    | None ->
+        let b = { tokens = float_of_int !rl_burst; last = ts; dropped = 0 } in
+        Hashtbl.add buckets key b;
+        b
+  in
+  let dt = ts -. b.last in
+  if dt > 0. then begin
+    b.tokens <- Float.min (float_of_int !rl_burst) (b.tokens +. (dt *. !rl_per_s));
+    b.last <- ts
+  end;
+  if b.tokens >= 1. then begin
+    b.tokens <- b.tokens -. 1.;
+    let extra = if b.dropped > 0 then [ ("suppressed", Json.Int b.dropped) ] else [] in
+    b.dropped <- 0;
+    (true, extra)
+  end
+  else begin
+    b.dropped <- b.dropped + 1;
+    (false, [])
+  end
+
+let log level ?(fields = []) ?key msg =
+  if severity level >= Atomic.get threshold && !sinks <> [] then begin
+    let ts = Instr.now () in
+    let span = Instr.current_span_path () in
+    with_lock state_mu (fun () ->
+        let ok, extra = match key with None -> (true, []) | Some k -> admit k ts in
+        if ok then begin
+          let r = { ts; level; msg; span; fields = fields @ extra } in
+          List.iter (fun s -> s.emit r) !sinks
+        end)
+  end
+
+let debug ?fields ?key msg = log Debug ?fields ?key msg
+let info ?fields ?key msg = log Info ?fields ?key msg
+let warn ?fields ?key msg = log Warn ?fields ?key msg
+let error ?fields ?key msg = log Error ?fields ?key msg
+
+let record_to_json r =
+  Json.Obj
+    ([
+       ("schema", Json.String schema);
+       ("ts", Json.Float r.ts);
+       ("level", Json.String (level_to_string r.level));
+       ("span", Json.String r.span);
+       ("msg", Json.String r.msg);
+     ]
+    @ if r.fields = [] then [] else [ ("fields", Json.Obj r.fields) ])
+
+let render_human ~t0 r =
+  let b = Buffer.create 96 in
+  Printf.bprintf b "[%8.3f] %-5s " (r.ts -. t0) (level_to_string r.level);
+  if r.span <> "" then begin
+    Buffer.add_string b r.span;
+    Buffer.add_string b ": "
+  end;
+  Buffer.add_string b r.msg;
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char b ' ';
+      Buffer.add_string b k;
+      Buffer.add_char b '=';
+      Buffer.add_string b
+        (match v with Json.String s -> s | v -> Json.to_string v))
+    r.fields;
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+let locked_write oc s =
+  with_lock out_mu (fun () ->
+      output_string oc s;
+      Stdlib.flush oc)
+
+let stderr_sink () =
+  let t0 = ref Float.nan in
+  {
+    emit =
+      (fun r ->
+        if Float.is_nan !t0 then t0 := r.ts;
+        locked_write stderr (render_human ~t0:!t0 r));
+    flush = ignore;
+  }
+
+let ndjson out =
+  {
+    emit = (fun r -> out (Json.to_string (record_to_json r) ^ "\n"));
+    flush = ignore;
+  }
+
+let ndjson_file path =
+  let oc = open_out path in
+  let closed = ref false in
+  {
+    emit =
+      (fun r ->
+        if not !closed then begin
+          output_string oc (Json.to_string (record_to_json r));
+          output_char oc '\n'
+        end);
+    flush =
+      (fun () ->
+        if not !closed then begin
+          closed := true;
+          close_out oc
+        end);
+  }
+
+let str k v = (k, Json.String v)
+let int k v = (k, Json.Int v)
+let float k v = (k, Json.Float v)
+let bool k v = (k, Json.Bool v)

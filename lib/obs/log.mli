@@ -1,0 +1,106 @@
+(** Structured, leveled, span-aware logging.
+
+    The run-time counterpart of {!Lr_instr.Instr}: where Instr records
+    {e what the program did} (spans, counters) for later analysis, [Log]
+    records {e what the operator should read} — leveled, key–value
+    messages that join back against traces through the innermost span
+    path stamped on every record.
+
+    Design points, in the spirit of the rest of the stack:
+
+    - {b Zero cost when silent.} With no sinks installed (the library
+      default) every entry point returns after one branch; libraries can
+      log unconditionally and pay nothing until a CLI opts in.
+    - {b Atomic lines.} Sinks are invoked under a global mutex, and
+      {!locked_write} serializes raw channel writes — so heartbeat
+      lines, progress NDJSON and log records never interleave mid-line
+      even when worker domains log concurrently.
+    - {b Rate limiting.} Hot paths (per-query retry chatter) pass a
+      [?key]; each key gets a token bucket on the injected clock
+      ({!Lr_instr.Instr.now}), and when a key re-opens the first record
+      carries a [suppressed] field with the number of dropped records.
+    - {b Machine-readable.} The NDJSON sink emits one [lr-log/v1]
+      object per line, mirroring [lr-progress/v1]. *)
+
+type level = Debug | Info | Warn | Error
+
+val level_to_string : level -> string
+(** ["debug"], ["info"], ["warn"], ["error"]. *)
+
+val level_of_string : string -> (level, string) result
+
+type record = {
+  ts : float;  (** {!Lr_instr.Instr.now} at emission (includes skew). *)
+  level : level;
+  msg : string;
+  span : string;  (** Innermost open span path; [""] at top level. *)
+  fields : (string * Lr_instr.Json.t) list;
+}
+
+type sink = { emit : record -> unit; flush : unit -> unit }
+
+val schema : string
+(** ["lr-log/v1"]. *)
+
+(** {1 Configuration} *)
+
+val set_level : level -> unit
+(** Threshold; records below it are dropped before any allocation.
+    Default [Info] (moot until a sink is installed). *)
+
+val get_level : unit -> level
+val set_sinks : sink list -> unit
+val add_sink : sink -> unit
+val flush : unit -> unit
+
+val set_rate_limit : burst:int -> per_s:float -> unit
+(** Token bucket applied to keyed records: each distinct [?key] may emit
+    [burst] records back-to-back, refilling at [per_s] records/second.
+    Default [burst:10], [per_s:1.0]. *)
+
+val reset : unit -> unit
+(** Drop sinks, rate-limit state and restore defaults (tests). *)
+
+(** {1 Emission} *)
+
+val debug : ?fields:(string * Lr_instr.Json.t) list -> ?key:string -> string -> unit
+val info : ?fields:(string * Lr_instr.Json.t) list -> ?key:string -> string -> unit
+val warn : ?fields:(string * Lr_instr.Json.t) list -> ?key:string -> string -> unit
+val error : ?fields:(string * Lr_instr.Json.t) list -> ?key:string -> string -> unit
+
+(** {1 Field helpers} *)
+
+val str : string -> string -> string * Lr_instr.Json.t
+val int : string -> int -> string * Lr_instr.Json.t
+val float : string -> float -> string * Lr_instr.Json.t
+val bool : string -> bool -> string * Lr_instr.Json.t
+
+(** {1 Sinks} *)
+
+val record_to_json : record -> Lr_instr.Json.t
+(** The [lr-log/v1] object: [schema], [ts], [level], [span], [msg],
+    and [fields] (object, present only when non-empty). *)
+
+val render_human : t0:float -> record -> string
+(** One line: ["[ 12.345] warn  span/path: msg k=v ..."], timestamp
+    relative to [t0], newline-terminated. *)
+
+val stderr_sink : unit -> sink
+(** Human format to stderr through {!locked_write}; timestamps relative
+    to the first record the sink sees. *)
+
+val ndjson : (string -> unit) -> sink
+(** One [lr-log/v1] line per record through the given consumer (the
+    line includes the trailing newline). *)
+
+val ndjson_file : string -> sink
+(** File-backed {!ndjson}; created immediately, closed on [flush],
+    later records ignored. *)
+
+(** {1 Atomic channel writes} *)
+
+val locked_write : out_channel -> string -> unit
+(** Write + flush under the process-wide output mutex shared with
+    {!stderr_sink}. Route any stderr/stdout stream that may run beside
+    worker-domain logging (heartbeat, [--progress -]) through this so
+    concurrent lines never interleave. *)

@@ -1,0 +1,481 @@
+module Instr = Lr_instr.Instr
+module Json = Lr_instr.Json
+
+let with_lock mu f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+(* Bounded line ring with absolute sequence numbers, so a streaming
+   client can resume from "everything after seq N" even when the ring
+   has dropped its oldest lines in between. *)
+type ring = {
+  items : string Queue.t;  (** oldest first; seqs [base_seq, next_seq) *)
+  cap : int;
+  mutable base_seq : int;
+  mutable next_seq : int;
+}
+
+let ring_create cap = { items = Queue.create (); cap; base_seq = 0; next_seq = 0 }
+
+let ring_push r line =
+  Queue.push line r.items;
+  r.next_seq <- r.next_seq + 1;
+  if Queue.length r.items > r.cap then begin
+    ignore (Queue.pop r.items);
+    r.base_seq <- r.base_seq + 1
+  end
+
+let ring_since r since =
+  let lines = ref [] in
+  let seq = ref r.base_seq in
+  Queue.iter
+    (fun line ->
+      if !seq >= since then lines := line :: !lines;
+      incr seq)
+    r.items;
+  List.rev !lines
+
+type health = {
+  mutable phase : string;
+  mutable outputs_total : int option;
+  mutable outputs_done : int;
+  mutable degraded : int;
+  mutable skipped : int;
+  mutable retries : int;
+  mutable queries : int;
+  mutable first_ts : float option;
+  mutable last_ts : float;
+}
+
+type state = {
+  mu : Mutex.t;
+  mutable metrics_text : string;
+  progress : ring;
+  logs : (int * string) Queue.t;  (** (severity, lr-log/v1 line) *)
+  log_cap : int;
+  health : health;
+  query_budget : int option;
+  time_budget_s : float option;
+  mutable done_ : bool;
+}
+
+let create_state ?(progress_cap = 4096) ?(log_cap = 1024) ?query_budget
+    ?time_budget_s () =
+  {
+    mu = Mutex.create ();
+    metrics_text = "";
+    progress = ring_create (max 1 progress_cap);
+    logs = Queue.create ();
+    log_cap = max 1 log_cap;
+    health =
+      {
+        phase = "";
+        outputs_total = None;
+        outputs_done = 0;
+        degraded = 0;
+        skipped = 0;
+        retries = 0;
+        queries = 0;
+        first_ts = None;
+        last_ts = 0.;
+      };
+    query_budget;
+    time_budget_s;
+    done_ = false;
+  }
+
+let ts_of = function
+  | Instr.Span_begin { ts; _ }
+  | Instr.Span_end { ts; _ }
+  | Instr.Count { ts; _ }
+  | Instr.Gauge { ts; _ } ->
+      ts
+
+let is_po name = String.length name > 3 && String.sub name 0 3 = "po:"
+
+let observer state =
+  let h = state.health in
+  let update ev =
+    with_lock state.mu (fun () ->
+        let ts = ts_of ev in
+        if h.first_ts = None then h.first_ts <- Some ts;
+        h.last_ts <- ts;
+        match ev with
+        | Instr.Span_begin { name; depth; _ }
+          when depth <= 1 && not (is_po name) ->
+            h.phase <- name
+        | Instr.Span_end { name; _ } when is_po name ->
+            h.outputs_done <- h.outputs_done + 1
+        | Instr.Count { name = "queries"; total; _ } -> h.queries <- total
+        | Instr.Count { name = "query.retries"; total; _ } ->
+            h.retries <- total
+        | Instr.Count { name = "learn.degraded"; total; _ } ->
+            h.degraded <- total
+        | Instr.Count { name = "learn.skipped"; total; _ } ->
+            h.skipped <- total
+        | Instr.Gauge { name = "learn.outputs"; value; _ } ->
+            h.outputs_total <- Some (int_of_float value)
+        | _ -> ())
+  in
+  Instr.{ emit = update; flush = ignore }
+
+let metrics_sink ?(interval_s = 0.25) ~render state =
+  let last = ref Float.neg_infinity in
+  let push () =
+    let text = render () in
+    with_lock state.mu (fun () -> state.metrics_text <- text)
+  in
+  Instr.
+    {
+      emit =
+        (fun ev ->
+          let ts = ts_of ev in
+          if ts -. !last >= interval_s then begin
+            last := ts;
+            push ()
+          end);
+      flush = push;
+    }
+
+let progress_out state chunk =
+  let lines = String.split_on_char '\n' chunk in
+  with_lock state.mu (fun () ->
+      List.iter
+        (fun line ->
+          if line <> "" then ring_push state.progress (line ^ "\n"))
+        lines)
+
+let log_sink state =
+  Log.
+    {
+      emit =
+        (fun r ->
+          let line = Json.to_string (Log.record_to_json r) ^ "\n" in
+          let sev =
+            match r.level with
+            | Log.Debug -> 0
+            | Log.Info -> 1
+            | Log.Warn -> 2
+            | Log.Error -> 3
+          in
+          with_lock state.mu (fun () ->
+              Queue.push (sev, line) state.logs;
+              if Queue.length state.logs > state.log_cap then
+                ignore (Queue.pop state.logs)));
+      flush = ignore;
+    }
+
+let mark_done state = with_lock state.mu (fun () -> state.done_ <- true)
+
+(* {1 Snapshot reads (any domain)} *)
+
+let metrics_text state =
+  with_lock state.mu (fun () ->
+      if state.metrics_text = "" then "# metrics snapshot pending\n"
+      else state.metrics_text)
+
+let progress_since state since =
+  with_lock state.mu (fun () ->
+      (ring_since state.progress since, state.progress.next_seq, state.done_))
+
+let logs_at_least state min_sev =
+  with_lock state.mu (fun () ->
+      Queue.fold
+        (fun acc (sev, line) -> if sev >= min_sev then line :: acc else acc)
+        [] state.logs
+      |> List.rev)
+
+let healthz_json state =
+  with_lock state.mu (fun () ->
+      let h = state.health in
+      let elapsed =
+        match h.first_ts with Some t0 -> h.last_ts -. t0 | None -> 0.
+      in
+      let opt_int = function None -> Json.Null | Some n -> Json.Int n in
+      Json.Obj
+        [
+          ("status", Json.String (if state.done_ then "done" else "running"));
+          ("phase", Json.String h.phase);
+          ("elapsed_s", Json.Float elapsed);
+          ("queries", Json.Int h.queries);
+          ("query_budget", opt_int state.query_budget);
+          ( "queries_remaining",
+            match state.query_budget with
+            | None -> Json.Null
+            | Some b -> Json.Int (max 0 (b - h.queries)) );
+          ( "time_budget_s",
+            match state.time_budget_s with
+            | None -> Json.Null
+            | Some b -> Json.Float b );
+          ( "time_remaining_s",
+            match state.time_budget_s with
+            | None -> Json.Null
+            | Some b -> Json.Float (Float.max 0. (b -. elapsed)) );
+          ("outputs_total", opt_int h.outputs_total);
+          ("outputs_done", Json.Int h.outputs_done);
+          ("degraded", Json.Int h.degraded);
+          ("skipped", Json.Int h.skipped);
+          ("retries", Json.Int h.retries);
+        ])
+
+(* {1 HTTP plumbing} *)
+
+let rec write_all fd s off len =
+  if len > 0 then begin
+    let n =
+      try Unix.write_substring fd s off len
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_all fd s (off + n) (len - n)
+  end
+
+let send fd s = write_all fd s 0 (String.length s)
+
+let respond fd ~status ~ctype body =
+  send fd
+    (Printf.sprintf
+       "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
+        close\r\n\r\n"
+       status ctype (String.length body));
+  send fd body
+
+let send_chunk fd s =
+  if s <> "" then send fd (Printf.sprintf "%x\r\n%s\r\n" (String.length s) s)
+
+let send_last_chunk fd = send fd "0\r\n\r\n"
+
+(* Read the request head (up to the blank line); 8 KiB cap, 2 s socket
+   timeout. Returns (method, path-with-query). *)
+let read_request fd =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 1024 in
+  let rec loop () =
+    if Buffer.length buf > 8192 then None
+    else
+      let n = try Unix.read fd chunk 0 (Bytes.length chunk) with _ -> 0 in
+      if n = 0 then None
+      else begin
+        Buffer.add_subbytes buf chunk 0 n;
+        let s = Buffer.contents buf in
+        match
+          let i = ref (-1) in
+          (try
+             for j = 0 to String.length s - 4 do
+               if !i < 0 && String.sub s j 4 = "\r\n\r\n" then i := j
+             done
+           with _ -> ());
+          !i
+        with
+        | -1 -> loop ()
+        | _ -> Some s
+      end
+  in
+  match loop () with
+  | None -> None
+  | Some head -> (
+      match String.index_opt head '\r' with
+      | None -> None
+      | Some eol -> (
+          let line = String.sub head 0 eol in
+          match String.split_on_char ' ' line with
+          | meth :: target :: _ -> Some (meth, target)
+          | _ -> None))
+
+let split_target target =
+  match String.index_opt target '?' with
+  | None -> (target, [])
+  | Some i ->
+      let path = String.sub target 0 i in
+      let query = String.sub target (i + 1) (String.length target - i - 1) in
+      let params =
+        String.split_on_char '&' query
+        |> List.filter_map (fun kv ->
+               match String.index_opt kv '=' with
+               | None -> if kv = "" then None else Some (kv, "")
+               | Some j ->
+                   Some
+                     ( String.sub kv 0 j,
+                       String.sub kv (j + 1) (String.length kv - j - 1) ))
+      in
+      (path, params)
+
+(* {1 The serving loop} *)
+
+type conn = { fd : Unix.file_descr; mutable next_seq : int }
+
+type t = {
+  listen_fd : Unix.file_descr;
+  stop_r : Unix.file_descr;
+  stop_w : Unix.file_descr;
+  bound_port : int;
+  dom : unit Domain.t;
+  stop_mu : Mutex.t;
+  mutable stopped : bool;
+}
+
+let close_quiet fd = try Unix.close fd with _ -> ()
+
+(* Handle one request; returns [Some conn] when the connection stays
+   open as a /progress stream. *)
+let handle state fd =
+  match read_request fd with
+  | None ->
+      close_quiet fd;
+      None
+  | Some (meth, target) -> (
+      let path, params = split_target target in
+      let finish () =
+        close_quiet fd;
+        None
+      in
+      try
+        if meth <> "GET" then begin
+          respond fd ~status:"405 Method Not Allowed" ~ctype:"text/plain"
+            "only GET is supported\n";
+          finish ()
+        end
+        else
+          match path with
+          | "/metrics" ->
+              respond fd ~status:"200 OK"
+                ~ctype:"text/plain; version=0.0.4; charset=utf-8"
+                (metrics_text state);
+              finish ()
+          | "/healthz" ->
+              respond fd ~status:"200 OK" ~ctype:"application/json"
+                (Json.to_string (healthz_json state) ^ "\n");
+              finish ()
+          | "/logs" -> (
+              let level = try List.assoc "level" params with Not_found -> "debug" in
+              match Log.level_of_string level with
+              | Error e ->
+                  respond fd ~status:"400 Bad Request" ~ctype:"text/plain"
+                    (e ^ "\n");
+                  finish ()
+              | Ok l ->
+                  let sev =
+                    match l with
+                    | Log.Debug -> 0
+                    | Log.Info -> 1
+                    | Log.Warn -> 2
+                    | Log.Error -> 3
+                  in
+                  respond fd ~status:"200 OK" ~ctype:"application/x-ndjson"
+                    (String.concat "" (logs_at_least state sev));
+                  finish ())
+          | "/progress" ->
+              send fd
+                "HTTP/1.1 200 OK\r\nContent-Type: \
+                 application/x-ndjson\r\nTransfer-Encoding: \
+                 chunked\r\nConnection: close\r\n\r\n";
+              let lines, next, done_ = progress_since state 0 in
+              send_chunk fd (String.concat "" lines);
+              if done_ then begin
+                send_last_chunk fd;
+                finish ()
+              end
+              else Some { fd; next_seq = next }
+          | _ ->
+              respond fd ~status:"404 Not Found" ~ctype:"text/plain"
+                "unknown endpoint (try /metrics /progress /healthz /logs)\n";
+              finish ()
+      with _ -> finish ())
+
+(* Push new progress lines to the streaming connections; drop the dead
+   ones and complete everything once the run is marked done. *)
+let pump state streams =
+  List.filter
+    (fun c ->
+      let lines, next, done_ = progress_since state c.next_seq in
+      try
+        if lines <> [] then send_chunk c.fd (String.concat "" lines);
+        c.next_seq <- next;
+        if done_ then begin
+          send_last_chunk c.fd;
+          close_quiet c.fd;
+          false
+        end
+        else true
+      with _ ->
+        close_quiet c.fd;
+        false)
+    streams
+
+let serve listen_fd stop_r state =
+  let streams = ref [] in
+  let running = ref true in
+  while !running do
+    let rs, _, _ =
+      try Unix.select [ listen_fd; stop_r ] [] [] 0.05
+      with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    if List.mem stop_r rs then running := false
+    else begin
+      if List.mem listen_fd rs then begin
+        match (try Some (Unix.accept ~cloexec:true listen_fd) with _ -> None)
+        with
+        | None -> ()
+        | Some (fd, _) -> (
+            (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 2.0 with _ -> ());
+            match handle state fd with
+            | None -> ()
+            | Some conn -> streams := conn :: !streams)
+      end;
+      streams := pump state !streams
+    end
+  done;
+  List.iter (fun c -> close_quiet c.fd) !streams
+
+let sigpipe_ignored = ref false
+
+let start ?(addr = "127.0.0.1") ~port state =
+  if not !sigpipe_ignored then begin
+    sigpipe_ignored := true;
+    try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+    with Invalid_argument _ -> ()
+  end;
+  match Unix.inet_addr_of_string addr with
+  | exception Failure _ -> Error (Printf.sprintf "bad listen address %S" addr)
+  | inet -> (
+      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+      try
+        Unix.setsockopt fd Unix.SO_REUSEADDR true;
+        Unix.bind fd (Unix.ADDR_INET (inet, port));
+        Unix.listen fd 16;
+        let bound_port =
+          match Unix.getsockname fd with
+          | Unix.ADDR_INET (_, p) -> p
+          | _ -> port
+        in
+        let stop_r, stop_w = Unix.pipe ~cloexec:true () in
+        let dom = Domain.spawn (fun () -> serve fd stop_r state) in
+        Ok
+          {
+            listen_fd = fd;
+            stop_r;
+            stop_w;
+            bound_port;
+            dom;
+            stop_mu = Mutex.create ();
+            stopped = false;
+          }
+      with Unix.Unix_error (e, fn, _) ->
+        close_quiet fd;
+        Error (Printf.sprintf "%s: %s" fn (Unix.error_message e)))
+
+let port t = t.bound_port
+
+let stop t =
+  let first =
+    with_lock t.stop_mu (fun () ->
+        if t.stopped then false
+        else begin
+          t.stopped <- true;
+          true
+        end)
+  in
+  if first then begin
+    (try ignore (Unix.write_substring t.stop_w "x" 0 1) with _ -> ());
+    Domain.join t.dom;
+    List.iter close_quiet [ t.listen_fd; t.stop_r; t.stop_w ]
+  end

@@ -206,8 +206,39 @@ let of_jsonl_string s =
   in
   go 1 [] lines
 
+(* Json parse errors carry a character offset ("... at offset N");
+   loader callers think in lines, so translate. *)
+let with_line_number s = function
+  | Ok _ as ok -> ok
+  | Error e -> (
+      let line_of_offset off =
+        let off = min off (String.length s) in
+        let line = ref 1 in
+        for i = 0 to off - 1 do
+          if s.[i] = '\n' then incr line
+        done;
+        !line
+      in
+      let marker = " at offset " in
+      let mlen = String.length marker in
+      let rec find i =
+        if i + mlen > String.length e then None
+        else if String.sub e i mlen = marker then Some i
+        else find (i + 1)
+      in
+      match find 0 with
+      | None -> Error e
+      | Some i -> (
+          match
+            int_of_string_opt
+              (String.trim (String.sub e (i + mlen) (String.length e - i - mlen)))
+          with
+          | Some off ->
+              Error (Printf.sprintf "line %d: %s" (line_of_offset off) e)
+          | None -> Error e))
+
 let of_chrome_string s =
-  match Json.of_string s with
+  match with_line_number s (Json.of_string s) with
   | Error e -> Error e
   | Ok (Json.List evs) ->
       (* reconstruct paths from B/E nesting; counter tracks carry running
@@ -286,9 +317,15 @@ let load_file path =
           | ' ' | '\t' | '\n' | '\r' -> first_byte (i + 1)
           | c -> Some c
       in
-      (match first_byte 0 with
-      | Some '[' -> of_chrome_string s
-      | _ -> of_jsonl_string s)
+      let parse () =
+        match first_byte 0 with
+        | Some '[' -> of_chrome_string s
+        | _ -> of_jsonl_string s
+      in
+      (* a malformed file must come back as [Error], never an exception *)
+      (try parse () with
+      | Failure m -> Error m
+      | e -> Error (Printexc.to_string e))
 
 (* ---------- queries ---------- *)
 
@@ -302,6 +339,22 @@ let top ?(k = 20) t =
       t.nodes
   in
   List.filteri (fun i _ -> i < k) sorted
+
+(* Self-time regressions of [new_t] against [old_t]: paths whose self
+   seconds exceed the old value by more than [max_frac] (relative) plus
+   [slack_s] (absolute floor, so microsecond jitter on near-zero spans
+   cannot gate a CI run). Sorted by regression size, worst first. *)
+let regressions ?(slack_s = 0.01) ~max_frac old_t new_t =
+  List.filter_map
+    (fun n ->
+      let old_self =
+        match find old_t n.path with Some o -> o.self_s | None -> 0.0
+      in
+      let limit = (old_self *. (1.0 +. max_frac)) +. slack_s in
+      if n.self_s > limit then Some (n.path, old_self, n.self_s) else None)
+    new_t.nodes
+  |> List.sort (fun (_, o1, n1) (_, o2, n2) ->
+         compare (n2 -. o2) (n1 -. o1))
 
 let is_leaf t =
   let parents = Hashtbl.create 64 in

@@ -1,7 +1,10 @@
 module Instr = Lr_instr.Instr
 
-let sink ?(out = fun s -> prerr_string s; flush stderr) ?budget_s ~interval_s ()
-    =
+(* Default writer goes through the logger's output mutex so heartbeat
+   lines stay atomic against concurrent log/progress writes under
+   [--jobs N]. *)
+let sink ?(out = fun s -> Lr_obs.Log.locked_write stderr s) ?budget_s
+    ~interval_s () =
   let first = ref nan in
   let last_print = ref nan in
   let last_ts = ref nan in

@@ -1,0 +1,623 @@
+(* Observability plane: structured logging (levels, fields, span join,
+   rate limiting, atomic channel writes), the alert-rules engine (spec
+   forms, windowed and derived metrics, firing transitions) and the
+   HTTP exposition server — plus the headline invariant: with the plane
+   disabled the library logging costs nothing and the learned circuit,
+   query count and progress stream are bit-identical across --jobs. *)
+
+module Instr = Lr_instr.Instr
+module Json = Lr_instr.Json
+module Log = Lr_obs.Log
+module Alerts = Lr_obs.Alerts
+module Server = Lr_obs.Server
+module Progress = Lr_prof.Progress
+module Metrics = Lr_prof.Metrics
+module Io = Lr_netlist.Io
+module Cases = Lr_cases.Cases
+module Config = Logic_regression.Config
+module Learner = Logic_regression.Learner
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let with_clean f =
+  Instr.reset_aggregates ();
+  Instr.set_sinks [];
+  Log.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Instr.set_sinks [];
+      Instr.set_clock Unix.gettimeofday;
+      Instr.reset_aggregates ();
+      Log.reset ())
+    f
+
+(* deterministic clock: each call advances time by 1 ms *)
+let install_ticking_clock () =
+  let t = ref 0.0 in
+  Instr.set_clock (fun () ->
+      t := !t +. 0.001;
+      !t)
+
+let capture () =
+  let records = ref [] in
+  Log.add_sink
+    { Log.emit = (fun r -> records := r :: !records); flush = ignore };
+  fun () -> List.rev !records
+
+(* --- logging --- *)
+
+let test_log_basics () =
+  with_clean @@ fun () ->
+  install_ticking_clock ();
+  let got = capture () in
+  Log.set_level Log.Info;
+  Log.debug "below threshold";
+  Instr.span ~name:"learn" (fun () ->
+      Instr.span ~name:"po:y0" (fun () ->
+          Log.warn ~fields:[ Log.int "n" 3; Log.str "who" "y0" ] "inside"));
+  Log.info "top";
+  let rs = got () in
+  check_int "debug filtered, two admitted" 2 (List.length rs);
+  let r = List.hd rs in
+  check "warn level" true (r.Log.level = Log.Warn);
+  check_str "span path stamped" "learn/po:y0" r.Log.span;
+  check_str "top-level record has empty span" ""
+    (List.nth rs 1).Log.span;
+  (match Log.record_to_json r with
+  | Json.Obj kvs ->
+      check "schema field" true
+        (List.assoc_opt "schema" kvs = Some (Json.String "lr-log/v1"));
+      check "level field" true
+        (List.assoc_opt "level" kvs = Some (Json.String "warn"));
+      check "msg field" true
+        (List.assoc_opt "msg" kvs = Some (Json.String "inside"));
+      (match List.assoc_opt "fields" kvs with
+      | Some (Json.Obj fs) ->
+          check "n field" true (List.assoc_opt "n" fs = Some (Json.Int 3))
+      | _ -> Alcotest.fail "fields object missing")
+  | _ -> Alcotest.fail "record_to_json: not an object");
+  (* no fields -> no fields key, keeps NDJSON lines lean *)
+  (match Log.record_to_json (List.nth rs 1) with
+  | Json.Obj kvs -> check "no empty fields key" true (not (List.mem_assoc "fields" kvs))
+  | _ -> Alcotest.fail "not an object");
+  let line = Log.render_human ~t0:0.0 r in
+  check "human line joins span and message" true
+    (contains line "learn/po:y0: inside");
+  check "human k=v rendering" true
+    (contains line "n=3" && contains line "who=y0");
+  check "newline-terminated" true (line.[String.length line - 1] = '\n');
+  (* ndjson sink speaks the schema *)
+  let buf = Buffer.create 128 in
+  Log.set_sinks [ Log.ndjson (Buffer.add_string buf) ];
+  Log.error "boom";
+  let l = String.trim (Buffer.contents buf) in
+  match Json.of_string l with
+  | Ok j ->
+      check "ndjson schema" true
+        (Option.bind (Json.member "schema" j) Json.get_string
+        = Some "lr-log/v1")
+  | Error e -> Alcotest.fail ("ndjson line unparseable: " ^ e)
+
+let test_log_levels_and_threshold () =
+  with_clean @@ fun () ->
+  let got = capture () in
+  Log.set_level Log.Error;
+  Log.debug "d";
+  Log.info "i";
+  Log.warn "w";
+  Log.error "e";
+  check_int "only error passes" 1 (List.length (got ()));
+  Log.set_level Log.Debug;
+  Log.debug "d2";
+  check_int "debug passes at debug" 2 (List.length (got ()));
+  check "level round trip" true
+    (List.for_all
+       (fun l -> Log.level_of_string (Log.level_to_string l) = Ok l)
+       [ Log.Debug; Log.Info; Log.Warn; Log.Error ]);
+  check "unknown level rejected" true
+    (Result.is_error (Log.level_of_string "loud"))
+
+let test_log_rate_limit () =
+  with_clean @@ fun () ->
+  install_ticking_clock ();
+  let got = capture () in
+  Log.set_rate_limit ~burst:2 ~per_s:1.0;
+  for i = 1 to 5 do
+    Log.warn ~key:"hot" (Printf.sprintf "m%d" i)
+  done;
+  check_int "burst admits two" 2 (List.length (got ()));
+  (* the injected clock refills the bucket — fault backoff counts *)
+  Instr.advance_clock 5.0;
+  Log.warn ~key:"hot" "after";
+  let rs = got () in
+  check_int "key re-opens" 3 (List.length rs);
+  (match List.assoc_opt "suppressed" (List.nth rs 2).Log.fields with
+  | Some (Json.Int 3) -> ()
+  | _ -> Alcotest.fail "expected suppressed=3 on re-open");
+  (* unkeyed records are never rate-limited *)
+  for _ = 1 to 4 do
+    Log.warn "unkeyed"
+  done;
+  check_int "unkeyed unlimited" 7 (List.length (got ()));
+  (* distinct keys get distinct buckets *)
+  Log.warn ~key:"cold" "other";
+  check_int "fresh key admitted" 8 (List.length (got ()))
+
+let test_locked_write_atomic () =
+  with_clean @@ fun () ->
+  let path = Filename.temp_file "lr_obs" ".log" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let oc = open_out path in
+  (* long distinctive lines: any interleaving corrupts the framing *)
+  let line d =
+    Printf.sprintf "%c%s%c" "ABCD".[d] (String.make 256 "abcd".[d]) "ABCD".[d]
+  in
+  let doms =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 100 do
+              Log.locked_write oc (line d ^ "\n")
+            done))
+  in
+  List.iter Domain.join doms;
+  close_out oc;
+  let ic = open_in path in
+  let n = ref 0 in
+  (try
+     while true do
+       let l = input_line ic in
+       incr n;
+       if not (List.exists (fun d -> l = line d) [ 0; 1; 2; 3 ]) then
+         Alcotest.fail ("interleaved line: " ^ l)
+     done
+   with End_of_file -> ());
+  close_in ic;
+  check_int "every line intact" 400 !n
+
+(* --- alert specs --- *)
+
+let test_alerts_spec_forms () =
+  let s = "degraded>0, retry_rate>0.05@10s, budget_burn>2x, queries<=1000" in
+  match Alerts.of_string s with
+  | Error e -> Alcotest.fail e
+  | Ok spec ->
+      check_str "canonical form"
+        "degraded>0,retry_rate>0.05@10s,budget_burn>2,queries<=1000"
+        (Alerts.to_string spec);
+      check "compact round trip" true
+        (Alerts.of_string (Alerts.to_string spec) = Ok spec);
+      check "json round trip" true (Alerts.of_json (Alerts.to_json spec) = Ok spec);
+      (match Alerts.of_string "retry_rate>=5%" with
+      | Ok [ r ] ->
+          Alcotest.(check (float 1e-12)) "percent suffix" 0.05 r.Alerts.threshold;
+          check "ge parsed (longest match)" true (r.Alerts.op = Alerts.Ge)
+      | _ -> Alcotest.fail "percent parse");
+      List.iter
+        (fun bad ->
+          match Alerts.of_string bad with
+          | Ok _ -> Alcotest.fail ("accepted bad spec: " ^ bad)
+          | Error _ -> ())
+        [ ""; "degraded"; ">0"; "x>oops"; "retry_rate>0.1@0s"; "a b>1" ];
+      (* file / inline dispatch *)
+      let path = Filename.temp_file "lr_alerts" ".json" in
+      Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+      let oc = open_out path in
+      output_string oc (Json.to_string (Alerts.to_json spec));
+      close_out oc;
+      check "lr-alerts/v1 file loads" true (Alerts.load path = Ok spec);
+      check "inline compact loads" true (Alerts.load "degraded>0" <> Error "")
+
+let count ~ts name incr total = Instr.Count { name; path = ""; ts; incr; total }
+
+let test_alerts_engine_firing () =
+  with_clean @@ fun () ->
+  let got = capture () in
+  Log.set_level Log.Warn;
+  let spec =
+    Result.get_ok (Alerts.of_string "degraded>0,retries>2@10s")
+  in
+  let e = Alerts.create spec in
+  Alerts.observe e (count ~ts:1.0 "queries" 100 100);
+  check_int "quiet start" 0 (Alerts.total_fired e);
+  Alerts.observe e (count ~ts:2.0 "learn.degraded" 1 1);
+  check_int "degraded fires on transition" 1 (Alerts.total_fired e);
+  Alerts.observe e (count ~ts:3.0 "learn.degraded" 1 2);
+  check_int "held predicate does not re-fire" 1 (Alerts.total_fired e);
+  (* windowed counter rule compares the rate: 25 retries in 10 s = 2.5/s *)
+  Alerts.observe e (count ~ts:4.0 "query.retries" 25 25);
+  check_int "windowed rate fires" 2 (Alerts.total_fired e);
+  (* the burst ages out of the window, the rule re-arms, a new burst
+     counts as a second incident *)
+  Alerts.observe e (count ~ts:30.0 "queries" 1 101);
+  Alerts.observe e (count ~ts:31.0 "query.retries" 25 50);
+  check_int "re-fires after window drains" 3 (Alerts.total_fired e);
+  (* firing bookkeeping *)
+  (match Alerts.firings e with
+  | [ d; r ] ->
+      check_int "degraded fired once" 1 d.Alerts.fired;
+      check_int "retries fired twice" 2 r.Alerts.fired;
+      check "first_at_s relative to first event" true
+        (d.Alerts.first_at_s = Some 1.0)
+  | _ -> Alcotest.fail "expected two rule firings");
+  (* each firing emitted a warn-level log record *)
+  let alerts_logged =
+    List.filter (fun r -> r.Log.msg = "alert fired") (got ())
+  in
+  check_int "one log record per firing" 3 (List.length alerts_logged);
+  (* report section *)
+  match Alerts.report_json e with
+  | Json.Obj kvs ->
+      check "fired total in report" true
+        (List.assoc_opt "fired" kvs = Some (Json.Int 3));
+      check "spec echoed" true
+        (List.assoc_opt "spec" kvs
+        = Some (Json.String "degraded>0,retries>2@10s"))
+  | _ -> Alcotest.fail "report_json: not an object"
+
+let test_alerts_derived_metrics () =
+  with_clean @@ fun () ->
+  (* retry_rate over a window: retries/queries within the last 10 s *)
+  let e =
+    Alerts.create (Result.get_ok (Alerts.of_string "retry_rate>0.5@10s"))
+  in
+  Alerts.observe e (count ~ts:0.0 "queries" 10 10);
+  Alerts.observe e (count ~ts:1.0 "query.retries" 4 4);
+  check_int "4/10 below threshold" 0 (Alerts.total_fired e);
+  Alerts.observe e (count ~ts:2.0 "query.retries" 4 8);
+  check_int "8/10 fires" 1 (Alerts.total_fired e);
+  (* budget_burn is inert without both budgets *)
+  let e2 =
+    Alerts.create (Result.get_ok (Alerts.of_string "budget_burn>2x"))
+  in
+  Alerts.observe e2 (count ~ts:0.0 "queries" 500 500);
+  Alerts.observe e2 (count ~ts:100.0 "queries" 500 1000);
+  check_int "inert without budgets" 0 (Alerts.total_fired e2);
+  (* on pace to burn 9x the budget rate: fires once past 1% of the
+     time budget *)
+  let e3 =
+    Alerts.create ~query_budget:1000 ~time_budget_s:100.0
+      (Result.get_ok (Alerts.of_string "budget_burn>2x"))
+  in
+  Alerts.observe e3 (count ~ts:0.0 "queries" 0 0);
+  Alerts.observe e3 (count ~ts:0.5 "queries" 900 900);
+  check_int "too early to judge" 0 (Alerts.total_fired e3);
+  Alerts.observe e3 (count ~ts:10.0 "queries" 0 900);
+  check_int "burn fires" 1 (Alerts.total_fired e3);
+  (* a sink never raises, whatever the event *)
+  let s = Alerts.sink e3 in
+  s.Instr.emit (Instr.Gauge { name = "g"; path = ""; ts = 11.0; value = 1.0 });
+  s.Instr.flush ()
+
+(* --- HTTP server --- *)
+
+let http_request ?(meth = "GET") ~port path =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with _ -> ())
+  @@ fun () ->
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.0;
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let req =
+    Printf.sprintf "%s %s HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+      meth path
+  in
+  ignore (Unix.write_substring fd req 0 (String.length req));
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 4096 in
+  let rec loop () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        loop ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let body_of resp =
+  let rec find i =
+    if i + 4 > String.length resp then String.length resp
+    else if String.sub resp i 4 = "\r\n\r\n" then i + 4
+    else find (i + 1)
+  in
+  let i = find 0 in
+  String.sub resp i (String.length resp - i)
+
+(* Decode Transfer-Encoding: chunked *)
+let dechunk body =
+  let out = Buffer.create (String.length body) in
+  let rec go i =
+    match String.index_from_opt body i '\r' with
+    | None -> ()
+    | Some j -> (
+        match int_of_string_opt ("0x" ^ String.trim (String.sub body i (j - i))) with
+        | None | Some 0 -> ()
+        | Some n ->
+            let start = j + 2 in
+            if start + n <= String.length body then begin
+              Buffer.add_string out (String.sub body start n);
+              go (start + n + 2)
+            end)
+  in
+  go 0;
+  Buffer.contents out
+
+let test_server_endpoints () =
+  with_clean @@ fun () ->
+  install_ticking_clock ();
+  let state = Server.create_state ~query_budget:1000 () in
+  Instr.set_sinks
+    [
+      Server.observer state;
+      Server.metrics_sink ~interval_s:0.0
+        ~render:(fun () -> Metrics.render (Metrics.of_instr ()))
+        state;
+    ];
+  Log.add_sink (Server.log_sink state);
+  Log.set_level Log.Info;
+  Instr.span ~name:"learn" (fun () ->
+      Instr.gauge "learn.outputs" 2.0;
+      Instr.span ~name:"po:y0" (fun () -> Instr.count "queries" 7);
+      Log.warn "something happened";
+      Log.info "routine");
+  Server.progress_out state "{\"ev\":\"run_start\"}\n{\"ev\":\"phase\"}\n";
+  Instr.flush_sinks ();
+  match Server.start ~port:0 state with
+  | Error e -> Alcotest.fail ("start: " ^ e)
+  | Ok srv ->
+      Fun.protect ~finally:(fun () -> Server.stop srv) @@ fun () ->
+      let port = Server.port srv in
+      check "ephemeral port bound" true (port > 0);
+      (* /metrics: live Prometheus text *)
+      let m = http_request ~port "/metrics" in
+      check "metrics 200" true (starts_with "HTTP/1.1 200" m);
+      check "prometheus content type" true
+        (contains m "text/plain; version=0.0.4");
+      check "counter family present" true
+        (contains (body_of m) "# TYPE lr_counter_total counter");
+      check "queries sample" true
+        (contains (body_of m) "lr_counter_total{name=\"queries\"} 7");
+      (* /healthz: live run facts *)
+      let h = http_request ~port "/healthz" in
+      check "healthz 200" true (starts_with "HTTP/1.1 200" h);
+      (match Json.of_string (String.trim (body_of h)) with
+      | Error e -> Alcotest.fail ("healthz json: " ^ e)
+      | Ok j ->
+          let str k = Option.bind (Json.member k j) Json.get_string in
+          let int k = Option.bind (Json.member k j) Json.get_int in
+          check "running" true (str "status" = Some "running");
+          check "phase" true (str "phase" = Some "learn");
+          check "queries" true (int "queries" = Some 7);
+          check "budget remaining" true (int "queries_remaining" = Some 993);
+          check "outputs total from gauge" true (int "outputs_total" = Some 2);
+          check "outputs done from po spans" true (int "outputs_done" = Some 1));
+      (* /logs with level filtering *)
+      let warn_only = body_of (http_request ~port "/logs?level=warn") in
+      check "warn retained" true (contains warn_only "something happened");
+      check "info filtered out" true (not (contains warn_only "routine"));
+      let all = body_of (http_request ~port "/logs") in
+      check "default level keeps info" true (contains all "routine");
+      check "bad level is 400" true
+        (starts_with "HTTP/1.1 400" (http_request ~port "/logs?level=loud"));
+      (* errors *)
+      check "unknown endpoint 404" true
+        (starts_with "HTTP/1.1 404" (http_request ~port "/nope"));
+      check "non-GET 405" true
+        (starts_with "HTTP/1.1 405" (http_request ~meth:"POST" ~port "/metrics"));
+      (* /progress completes once the run is done *)
+      Server.mark_done state;
+      let p = http_request ~port "/progress" in
+      check "progress 200" true (starts_with "HTTP/1.1 200" p);
+      check "chunked" true (contains p "Transfer-Encoding: chunked");
+      let lines =
+        dechunk (body_of p) |> String.split_on_char '\n'
+        |> List.filter (fun l -> l <> "")
+      in
+      check_int "both progress lines served" 2 (List.length lines);
+      List.iter
+        (fun l ->
+          match Json.of_string l with
+          | Ok _ -> ()
+          | Error e -> Alcotest.fail ("progress line: " ^ e ^ ": " ^ l))
+        lines;
+      (match Json.of_string (String.trim (body_of (http_request ~port "/healthz"))) with
+      | Ok j ->
+          check "done after mark_done" true
+            (Option.bind (Json.member "status" j) Json.get_string = Some "done")
+      | Error e -> Alcotest.fail e);
+      (* stop is idempotent *)
+      Server.stop srv;
+      Server.stop srv
+
+(* --- end-to-end: neutrality and live scraping on real learns --- *)
+
+let fast =
+  {
+    Config.default with
+    Config.support_rounds = 192;
+    node_rounds = 32;
+    max_tree_nodes = 512;
+    optimize_rounds = 1;
+    fraig_words = 4;
+    template_samples = 32;
+  }
+
+let strip_timing j =
+  match j with
+  | Json.Obj kvs ->
+      Json.Obj
+        (List.filter
+           (fun (k, _) ->
+             k <> "t" && k <> "seconds" && k <> "elapsed_s" && k <> "frac")
+           kvs)
+  | j -> j
+
+let progress_lines buf =
+  String.split_on_char '\n' (Buffer.contents buf)
+  |> List.filter (fun l -> l <> "")
+  |> List.map (fun l ->
+         match Json.of_string l with
+         | Ok j -> Json.to_string (strip_timing j)
+         | Error e -> Alcotest.fail ("bad progress line: " ^ e ^ ": " ^ l))
+
+(* One learn of case_7; with [obs] the full plane is armed — server
+   domain live, observer + metrics + alerts sinks, log capture — and
+   without it there is not a single obs sink, the library Log calls
+   short-circuit on the empty sink list. *)
+let learn_case ~jobs ~obs () =
+  Instr.reset_aggregates ();
+  Log.reset ();
+  let progress = Buffer.create 4096 in
+  let stop_server = ref (fun () -> ()) in
+  if obs then begin
+    Log.set_level Log.Debug;
+    let state = Server.create_state () in
+    (match Server.start ~port:0 state with
+    | Error e -> Alcotest.fail ("start: " ^ e)
+    | Ok srv -> stop_server := fun () -> Server.stop srv);
+    let engine =
+      Alerts.create
+        (Result.get_ok (Alerts.of_string "degraded>0,retry_rate>0.99@5s"))
+    in
+    Log.add_sink (Server.log_sink state);
+    Instr.set_sinks
+      [
+        Server.observer state;
+        Server.metrics_sink
+          ~render:(fun () -> Metrics.render (Metrics.of_instr ()))
+          state;
+        Alerts.sink engine;
+        Progress.sink
+          ~out:(fun s ->
+            Buffer.add_string progress s;
+            Server.progress_out state s)
+          ~every:1000 ();
+      ]
+  end
+  else
+    Instr.set_sinks
+      [ Progress.sink ~out:(Buffer.add_string progress) ~every:1000 () ];
+  Fun.protect
+    ~finally:(fun () ->
+      Instr.set_sinks [];
+      !stop_server ();
+      Log.reset ())
+  @@ fun () ->
+  let spec = Cases.find "case_7" in
+  let box = Cases.blackbox ~budget:150_000 spec in
+  let report = Learner.learn ~config:{ fast with Config.seed = 3; jobs } box in
+  Instr.flush_sinks ();
+  (Io.write report.Learner.circuit, report.Learner.queries, progress_lines progress)
+
+let test_obs_is_neutral () =
+  with_clean @@ fun () ->
+  let bare_net, bare_q, bare_seq = learn_case ~jobs:1 ~obs:false () in
+  let obs_net, obs_q, obs_seq = learn_case ~jobs:1 ~obs:true () in
+  check_str "obs plane does not change the circuit" bare_net obs_net;
+  check_int "obs plane does not change the query count" bare_q obs_q;
+  Alcotest.(check (list string))
+    "progress stream identical with the plane armed" bare_seq obs_seq;
+  let par_net, par_q, par_seq = learn_case ~jobs:4 ~obs:true () in
+  check_str "jobs=4 with obs: circuit identical" bare_net par_net;
+  check_int "jobs=4 with obs: queries identical" bare_q par_q;
+  Alcotest.(check (list string))
+    "jobs=4 with obs: progress sequence identical (timing stripped)"
+    bare_seq par_seq
+
+let test_concurrent_scrape_mid_run () =
+  with_clean @@ fun () ->
+  let state = Server.create_state () in
+  match Server.start ~port:0 state with
+  | Error e -> Alcotest.fail ("start: " ^ e)
+  | Ok srv ->
+      Fun.protect ~finally:(fun () -> Server.stop srv) @@ fun () ->
+      let port = Server.port srv in
+      Instr.set_sinks
+        [
+          Server.observer state;
+          Server.metrics_sink
+            ~render:(fun () -> Metrics.render (Metrics.of_instr ()))
+            state;
+          Progress.sink ~out:(Server.progress_out state) ~every:500 ();
+        ];
+      (* scrape continuously from another domain while the learner runs *)
+      let stop = Atomic.make false in
+      let scrapes = Atomic.make 0 in
+      let failure = Atomic.make "" in
+      let scraper =
+        Domain.spawn (fun () ->
+            while not (Atomic.get stop) do
+              let m = http_request ~port "/metrics" in
+              if not (starts_with "HTTP/1.1 200" m) then
+                Atomic.set failure "mid-run /metrics not 200";
+              let h = http_request ~port "/healthz" in
+              (match Json.of_string (String.trim (body_of h)) with
+              | Ok _ -> ()
+              | Error e -> Atomic.set failure ("mid-run /healthz: " ^ e));
+              Atomic.incr scrapes
+            done)
+      in
+      let spec = Cases.find "case_9" in
+      let box = Cases.blackbox ~budget:120_000 spec in
+      let report =
+        Learner.learn ~config:{ fast with Config.seed = 3; jobs = 2 } box
+      in
+      Instr.flush_sinks ();
+      Atomic.set stop true;
+      Domain.join scraper;
+      Server.mark_done state;
+      check "learner did real work" true (report.Learner.queries > 0);
+      check "scraped at least once mid-run" true (Atomic.get scrapes > 0);
+      check_str "no scrape failure" "" (Atomic.get failure);
+      (* the final snapshot is valid Prometheus text and NDJSON *)
+      let m = body_of (http_request ~port "/metrics") in
+      check "final metrics rendered" true
+        (contains m "# TYPE lr_span_seconds_total counter");
+      check "queries counted" true (contains m "lr_counter_total{name=\"queries\"}");
+      let p =
+        dechunk (body_of (http_request ~port "/progress"))
+        |> String.split_on_char '\n'
+        |> List.filter (fun l -> l <> "")
+      in
+      check "progress stream non-empty" true (p <> []);
+      List.iter
+        (fun l ->
+          match Json.of_string l with
+          | Ok _ -> ()
+          | Error e -> Alcotest.fail ("progress line: " ^ e ^ ": " ^ l))
+        p
+
+let tests =
+  [
+    Alcotest.test_case "log basics: levels, fields, span join, ndjson" `Quick
+      test_log_basics;
+    Alcotest.test_case "log threshold & level round trip" `Quick
+      test_log_levels_and_threshold;
+    Alcotest.test_case "rate limiting with suppression counts" `Quick
+      test_log_rate_limit;
+    Alcotest.test_case "locked_write atomic across domains" `Quick
+      test_locked_write_atomic;
+    Alcotest.test_case "alert spec forms round trip" `Quick
+      test_alerts_spec_forms;
+    Alcotest.test_case "alert engine firing transitions" `Quick
+      test_alerts_engine_firing;
+    Alcotest.test_case "derived metrics: retry_rate, budget_burn" `Quick
+      test_alerts_derived_metrics;
+    Alcotest.test_case "server endpoints" `Quick test_server_endpoints;
+    Alcotest.test_case "obs plane neutral & jobs-invariant" `Quick
+      test_obs_is_neutral;
+    Alcotest.test_case "concurrent scrape during a live learn" `Quick
+      test_concurrent_scrape_mid_run;
+  ]

@@ -307,6 +307,112 @@ let test_metrics_exposition () =
         in
         go 0))
 
+(* --- loader robustness: truncated / garbage inputs --- *)
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let write_temp content =
+  let path = Filename.temp_file "lr_prof" ".trace" in
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc;
+  path
+
+let expect_error what msg_frag = function
+  | Ok _ -> Alcotest.fail (what ^ ": garbage accepted")
+  | Error e ->
+      check (what ^ " reports " ^ msg_frag) true (contains e msg_frag)
+
+let test_loader_garbage () =
+  with_clean @@ fun () ->
+  (* a valid JSONL prefix followed by a truncated trailing line: the
+     error names the bad line, and nothing raises *)
+  let good =
+    {|{"ev":"span_begin","name":"outer","path":"outer","ts":0.001,"depth":1}
+{"ev":"span_end","name":"outer","path":"outer","ts":0.002,"dur_s":0.001,"depth":1}|}
+  in
+  expect_error "jsonl truncated line" "line 3"
+    (Profile.of_jsonl_string (good ^ "
+{\"ev\":\"b\",\"name\":\"tr"));
+  expect_error "jsonl garbage line" "line 3"
+    (Profile.of_jsonl_string (good ^ "
+not json at all"));
+  (* unknown event kinds are skipped, not fatal *)
+  (match
+     Profile.of_jsonl_string
+       (good ^ "
+{\"ev\":\"weird\",\"name\":\"x\",\"path\":\"x\",\"ts\":0.003}")
+   with
+  | Ok p -> check_int "unknown kind skipped" 1 (List.length p.Profile.nodes)
+  | Error e -> Alcotest.fail ("unknown kind fatal: " ^ e));
+  (* a Chrome trace cut off mid-array: line-numbered parse error *)
+  let chrome_prefix =
+    "[
+{\"ph\":\"B\",\"name\":\"outer\",\"ts\":1000,\"pid\":1,\"tid\":1},
+{\"ph\":\"E\",\"na"
+  in
+  expect_error "chrome truncated" "line" (Profile.of_chrome_string chrome_prefix);
+  expect_error "chrome not an array" "array"
+    (Profile.of_chrome_string "{\"ph\":\"B\"}");
+  (* load_file turns every malformed file into Error, never an
+     exception, and keeps the line number *)
+  List.iter
+    (fun (content, frag) ->
+      let path = write_temp content in
+      Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+      match Profile.load_file path with
+      | Ok _ -> Alcotest.fail "load_file accepted garbage"
+      | Error e -> check ("load_file reports " ^ frag) true (contains e frag))
+    [
+      (good ^ "
+{\"ev\":", "line 3");
+      (chrome_prefix, "line");
+      ("\x00\x01binary junk", "line 1");
+    ];
+  match Profile.load_file "/nonexistent/lr_prof_trace.jsonl" with
+  | Ok _ -> Alcotest.fail "missing file accepted"
+  | Error _ -> ()
+
+(* --- self-time regression gate --- *)
+
+let test_regression_gate () =
+  with_clean @@ fun () ->
+  let mk spans =
+    Profile.of_events
+      (List.concat_map
+         (fun (name, dur) ->
+           [
+             Instr.Span_begin { name; path = name; ts = 0.0; depth = 1 };
+             Instr.Span_end { name; path = name; ts = dur; dur_s = dur; depth = 1 };
+           ])
+         spans)
+  in
+  let old_p = mk [ ("a", 1.0) ] in
+  (* +5% within a 10% gate: clean *)
+  check "within limit" true
+    (Profile.regressions ~max_frac:0.1 old_p (mk [ ("a", 1.05) ]) = []);
+  (* +50%: flagged with old and new self time *)
+  (match Profile.regressions ~max_frac:0.1 old_p (mk [ ("a", 1.5) ]) with
+  | [ (path, old_s, new_s) ] ->
+      check_str "flagged path" "a" path;
+      check_float "old self" 1.0 old_s;
+      check_float "new self" 1.5 new_s
+  | _ -> Alcotest.fail "expected one regression");
+  (* near-zero spans sit under the jitter floor *)
+  check "slack absorbs microsecond jitter" true
+    (Profile.regressions ~max_frac:0.1 (mk [ ("b", 0.0001) ])
+       (mk [ ("b", 0.005) ])
+    = []);
+  (* a brand-new span regresses against an implicit zero baseline *)
+  match Profile.regressions ~max_frac:0.1 old_p (mk [ ("a", 1.0); ("new", 0.5) ]) with
+  | [ (path, old_s, _) ] ->
+      check_str "new span flagged" "new" path;
+      check_float "zero baseline" 0.0 old_s
+  | _ -> Alcotest.fail "expected the new span flagged"
+
 let tests =
   [
     Alcotest.test_case "attribution math & folded export" `Quick
@@ -317,4 +423,8 @@ let tests =
     Alcotest.test_case "profiling neutral & jobs-invariant" `Quick
       test_profiling_is_neutral;
     Alcotest.test_case "metrics exposition" `Quick test_metrics_exposition;
+    Alcotest.test_case "loaders survive truncated/garbage input" `Quick
+      test_loader_garbage;
+    Alcotest.test_case "self-time regression gate" `Quick
+      test_regression_gate;
   ]
