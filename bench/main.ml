@@ -34,6 +34,7 @@ module Server = Lr_obs.Server
 let seed_base = ref 1
 let time_budget = ref None
 let check_level = ref Config.Off
+let sweep_level = ref Config.Sweep_off
 let jobs = ref 1
 let fault_spec = ref None
 let retry_attempts = ref 1
@@ -91,6 +92,7 @@ let ours_config preset scale seed =
     max_tree_nodes = scale.max_tree_nodes;
     time_budget_s = !time_budget;
     check_level = !check_level;
+    sweep = !sweep_level;
     jobs = !jobs;
     retry = Lr_faults.Faults.retry !retry_attempts;
     faults = !fault_spec;
@@ -531,6 +533,7 @@ let () =
   let heartbeat, args = extract "--heartbeat" args in
   let budget_s, args = extract "--time-budget" args in
   let check, args = extract "--check" args in
+  let sweep_v, args = extract "--sweep" args in
   let jobs_v, args = extract "--jobs" args in
   let faults_v, args = extract "--faults" args in
   let retry_v, args = extract "--retry" args in
@@ -571,6 +574,14 @@ let () =
       | Some l -> check_level := l
       | None ->
           Printf.eprintf "bad --check value: %s (use off|structural|full)\n" v;
+          exit 1)
+  | None -> ());
+  (match sweep_v with
+  | Some v -> (
+      match Config.sweep_level_of_string v with
+      | Some l -> sweep_level := l
+      | None ->
+          Printf.eprintf "bad --sweep value: %s (use off|const|full)\n" v;
           exit 1)
   | None -> ());
   (match faults_v with

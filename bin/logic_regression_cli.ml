@@ -148,6 +148,28 @@ let check_arg =
         Config.Off
     & info [ "check" ] ~docv:"LEVEL" ~doc)
 
+let sweep_arg =
+  let doc =
+    "Dataflow sweep of the final netlist: $(b,off) (the default — runs \
+     are bit-identical to earlier builds), $(b,const) (ternary constant \
+     propagation only), or $(b,full) (additionally merge SAT-proven \
+     duplicate cones, rebuild XOR trees as single gates and apply \
+     observability-don't-care resubstitutions). Every stage is \
+     CEC-verified under --check full; the sweep issues no black-box \
+     queries."
+  in
+  Arg.(
+    value
+    & opt
+        (Arg.enum
+           [
+             ("off", Config.Sweep_off);
+             ("const", Config.Sweep_const);
+             ("full", Config.Sweep_full);
+           ])
+        Config.Sweep_off
+    & info [ "sweep" ] ~docv:"LEVEL" ~doc)
+
 let jobs_arg =
   let doc =
     "Worker domains for the per-output conquer stage. $(b,1) (the \
@@ -426,6 +448,7 @@ let json_of_run ~case ~seed ~time_budget ~eval_patterns ~accuracy ~faults
       ( "check_level",
         Json.String (Config.check_level_string report.Learner.check_level) );
       ("checks_verified", Json.Int report.Learner.checks_verified);
+      ("sweep_removed", Json.Int report.Learner.sweep_removed);
       ( "lint_findings",
         Json.List (List.map Finding.json report.Learner.lint_findings) );
       ("query_latency", Histogram.summary_to_json report.Learner.query_latency);
@@ -468,8 +491,8 @@ let print_phase_breakdown oc report =
 
 let learn_run case preset seed budget eval_patterns support_rounds no_templates
     no_grouping out trace trace_jsonl progress metrics metrics_out json history
-    heartbeat time_budget check jobs faults retry_attempts retry_backoff listen
-    alerts log_level log_file =
+    heartbeat time_budget check sweep jobs faults retry_attempts retry_backoff
+    listen alerts log_level log_file =
   (* structured logging is on for the CLI (stderr, human format) so the
      library's warn/error records — and fatal argument errors — have a
      sink from the first line on *)
@@ -519,6 +542,7 @@ let learn_run case preset seed budget eval_patterns support_rounds no_templates
         Option.value support_rounds ~default:preset.Config.support_rounds;
       time_budget_s = time_budget;
       check_level = check;
+      sweep;
       jobs;
       retry = Faults.retry ~backoff_s:retry_backoff retry_attempts;
       faults = fault_spec;
@@ -635,6 +659,9 @@ let learn_run case preset seed budget eval_patterns support_rounds no_templates
         (if r.Learner.compressed then " [compressed]" else "")
         (if r.Learner.complete then "" else " [budget-truncated]"))
     report.Learner.outputs;
+  if report.Learner.sweep_removed > 0 then
+    Printf.fprintf hout "sweep:   %d gate(s) removed\n"
+      report.Learner.sweep_removed;
   (match report.Learner.check_level with
   | Config.Off -> ()
   | lvl ->
@@ -760,8 +787,8 @@ let learn_cmd =
       $ eval_arg $ support_rounds_arg $ no_templates_arg $ no_grouping_arg
       $ out_arg $ trace_arg $ trace_jsonl_arg $ progress_arg $ metrics_arg
       $ metrics_out_arg $ json_arg $ history_arg $ heartbeat_arg
-      $ time_budget_arg $ check_arg $ jobs_arg $ faults_arg $ retry_arg
-      $ retry_backoff_arg $ listen_arg $ alerts_arg $ log_level_arg
+      $ time_budget_arg $ check_arg $ sweep_arg $ jobs_arg $ faults_arg
+      $ retry_arg $ retry_backoff_arg $ listen_arg $ alerts_arg $ log_level_arg
       $ log_file_arg)
 
 (* ---------- baseline ---------- *)

@@ -2,9 +2,12 @@
 
    One file: parse it (BLIF, ASCII AIGER, or the .lrc text netlist),
    report every source-level and structural finding plus per-output cone
-   statistics. Two files: prove combinational equivalence, reporting the
-   offending output and a counterexample when they differ. Exit status 1
-   on error findings or non-equivalence, 2 on unreadable input. *)
+   statistics; --deep adds the semantic dataflow rules (constant
+   propagation, observability, SAT-proven duplicates, rewrite
+   opportunities). Two files: prove combinational equivalence, reporting
+   the offending output and a counterexample when they differ. Exit
+   status 1 on error findings or non-equivalence, 2 on unreadable or
+   unparseable input. *)
 
 module N = Lr_netlist.Netlist
 module Blif = Lr_netlist.Blif
@@ -15,6 +18,7 @@ module Equiv = Lr_aig.Equiv
 module Bv = Lr_bitvec.Bv
 module Finding = Lr_check.Finding
 module Lint = Lr_check.Lint
+module Semantic = Lr_dataflow.Semantic
 module Json = Lr_instr.Json
 
 open Cmdliner
@@ -44,27 +48,42 @@ let parse_finding ~rule msg =
   Finding.make Finding.Error ~rule ~where:"" ~hint:"fix the parse error first"
     msg
 
-(* Lint one file: (findings, cones). The netlist is linted only when the
-   source parses; BLIF source diagnostics come first. *)
-let lint_file path =
+(* Lint one file: (findings, cones, netlist, parse_failed). The netlist
+   is linted only when the source parses; a source that does not parse
+   still produces a report but flips [parse_failed], which maps to exit
+   status 2 rather than 1 (findings on a well-formed circuit). *)
+let lint_file ~deep path =
+  let semantic c = if deep then Semantic.netlist c else [] in
   match format_of_path path with
   | Fblif -> (
       let text = read_text path in
       let source = Lint.blif_source text in
-      if Finding.errors source <> [] then (source, [])
+      if Finding.errors source <> [] then (source, [], None, true)
       else
         let c = Blif.read text in
-        (source @ Lint.netlist c, Lint.cones c))
+        ( Finding.normalize (source @ Lint.netlist c @ semantic c),
+          Lint.cones c,
+          Some c,
+          false ))
   | Faiger -> (
       match Aiger.read_file path with
-      | exception Failure msg -> ([ parse_finding ~rule:"aiger-source" msg ], [])
+      | exception Failure msg ->
+          ([ parse_finding ~rule:"aiger-source" msg ], [], None, true)
       | aig ->
           let c = Aig.to_netlist aig in
-          (Lint.aig aig, Lint.cones c))
+          ( Finding.normalize (Lint.aig aig @ semantic c),
+            Lint.cones c,
+            Some c,
+            false ))
   | Flrc -> (
       match Io.read_file path with
-      | exception Failure msg -> ([ parse_finding ~rule:"lrc-source" msg ], [])
-      | c -> (Lint.netlist c, Lint.cones c))
+      | exception Failure msg ->
+          ([ parse_finding ~rule:"lrc-source" msg ], [], None, true)
+      | c ->
+          ( Finding.normalize (Lint.netlist c @ semantic c),
+            Lint.cones c,
+            Some c,
+            false ))
 
 let read_netlist path =
   match format_of_path path with
@@ -77,20 +96,33 @@ let severity_counts findings =
     Finding.count Finding.Warning findings,
     Finding.count Finding.Info findings )
 
-let lint_json path findings cones =
+let lint_json ~deep path findings cones netlist =
   let e, w, i = severity_counts findings in
+  let rule_counts =
+    Json.Obj
+      (List.map (fun (r, c) -> (r, Json.Int c)) (Semantic.rule_counts findings))
+  in
+  let estimate =
+    match (deep, netlist) with
+    | true, Some c ->
+        [ ("nodes_removed_estimate", Json.Int (Semantic.removal_estimate c)) ]
+    | _ -> []
+  in
   Json.Obj
-    [
-      ("schema", Json.String "lr-lint-report/v1");
-      ("mode", Json.String "lint");
-      ("file", Json.String path);
-      ("format", Json.String (format_string (format_of_path path)));
-      ("errors", Json.Int e);
-      ("warnings", Json.Int w);
-      ("info", Json.Int i);
-      ("findings", Json.List (List.map Finding.json findings));
-      ("cones", Json.List (List.map Lint.cone_json cones));
-    ]
+    ([
+       ("schema", Json.String "lr-lint-report/v2");
+       ("mode", Json.String "lint");
+       ("file", Json.String path);
+       ("format", Json.String (format_string (format_of_path path)));
+       ("deep", Json.Bool deep);
+       ("errors", Json.Int e);
+       ("warnings", Json.Int w);
+       ("info", Json.Int i);
+       ("rule_counts", rule_counts);
+       ("findings", Json.List (List.map Finding.json findings));
+       ("cones", Json.List (List.map Lint.cone_json cones));
+     ]
+    @ estimate)
 
 let cec_json path1 path2 verdict =
   let fields =
@@ -107,7 +139,7 @@ let cec_json path1 path2 verdict =
   in
   Json.Obj
     ([
-       ("schema", Json.String "lr-lint-report/v1");
+       ("schema", Json.String "lr-lint-report/v2");
        ("mode", Json.String "cec");
        ("files", Json.List [ Json.String path1; Json.String path2 ]);
      ]
@@ -124,14 +156,14 @@ let emit_json json = function
           output_string oc (Json.to_string json);
           output_string oc "\n")
 
-let run path1 path2 json quiet =
+let run path1 path2 json quiet deep =
   match path2 with
   | None -> (
-      match lint_file path1 with
+      match lint_file ~deep path1 with
       | exception Sys_error msg ->
           Printf.eprintf "error: %s\n" msg;
           2
-      | findings, cones ->
+      | findings, cones, netlist, parse_failed ->
           let e, w, i = severity_counts findings in
           if not quiet then begin
             List.iter
@@ -148,8 +180,8 @@ let run path1 path2 json quiet =
             Printf.printf "%s: %d error(s), %d warning(s), %d info\n" path1 e w
               i
           end;
-          emit_json (lint_json path1 findings cones) json;
-          if e > 0 then 1 else 0)
+          emit_json (lint_json ~deep path1 findings cones netlist) json;
+          if parse_failed then 2 else if e > 0 then 1 else 0)
   | Some path2 -> (
       let load path =
         match read_netlist path with
@@ -196,7 +228,7 @@ let file2_pos =
 
 let json_arg =
   let doc =
-    "Write a machine-readable report (schema lr-lint-report/v1). Pass \
+    "Write a machine-readable report (schema lr-lint-report/v2). Pass \
      $(b,-) for standard output."
   in
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
@@ -204,6 +236,15 @@ let json_arg =
 let quiet_arg =
   let doc = "Suppress the human-readable report (exit status still set)." in
   Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
+
+let deep_arg =
+  let doc =
+    "Run the semantic dataflow rules as well: ternary constant \
+     propagation, observability don't-cares, SAT-proven duplicate and \
+     constant cones, XOR-recovery and resubstitution opportunities. \
+     Slower (simulation plus bounded SAT), still deterministic."
+  in
+  Arg.(value & flag & info [ "deep" ] ~doc)
 
 let cmd =
   let doc = "lint a circuit file, or prove two equivalent" in
@@ -215,15 +256,18 @@ let cmd =
          (combinational cycles, multiply-driven or undriven signals, \
          malformed tables), structural findings (dead logic, double \
          inverters, constant-foldable gates, structural duplicates, \
-         constant outputs) and per-output cone statistics. With two \
-         files, proves combinational equivalence by simulation plus SAT.";
+         constant outputs) and per-output cone statistics. $(b,--deep) \
+         adds the semantic dataflow rules: ternary constant propagation, \
+         observability don't-cares, SAT-proven duplicate/constant cones \
+         and rewrite opportunities. With two files, proves combinational \
+         equivalence by simulation plus SAT.";
       `P
         "Exit status: 0 clean or equivalent; 1 error findings or not \
-         equivalent; 2 unreadable input.";
+         equivalent; 2 unreadable or unparseable input.";
     ]
   in
   Cmd.v
     (Cmd.info "lr_lint" ~doc ~man)
-    Term.(const run $ file1_pos $ file2_pos $ json_arg $ quiet_arg)
+    Term.(const run $ file1_pos $ file2_pos $ json_arg $ quiet_arg $ deep_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -37,6 +37,51 @@ let json f =
 let count sev l = List.length (List.filter (fun f -> f.severity = sev) l)
 let errors l = List.filter (fun f -> f.severity = Error) l
 
+(* compare strings with embedded numbers numerically, so "node 2" sorts
+   before "node 12" and "line 8" before "line 10" *)
+let natural_compare a b =
+  let la = String.length a and lb = String.length b in
+  let is_digit ch = ch >= '0' && ch <= '9' in
+  let digit_run s i =
+    let l = String.length s in
+    let j = ref i in
+    while !j < l && is_digit s.[!j] do
+      incr j
+    done;
+    !j
+  in
+  let rec go i j =
+    if i >= la && j >= lb then 0
+    else if i >= la then -1
+    else if j >= lb then 1
+    else if is_digit a.[i] && is_digit b.[j] then begin
+      let i' = digit_run a i and j' = digit_run b j in
+      let na = int_of_string (String.sub a i (i' - i)) in
+      let nb = int_of_string (String.sub b j (j' - j)) in
+      if na <> nb then compare na nb else go i' j'
+    end
+    else if a.[i] <> b.[j] then Char.compare a.[i] b.[j]
+    else go (i + 1) (j + 1)
+  in
+  go 0 0
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let compare f g =
+  let c = natural_compare f.where g.where in
+  if c <> 0 then c
+  else
+    let c = String.compare f.rule g.rule in
+    if c <> 0 then c
+    else
+      let c = Int.compare (severity_rank f.severity) (severity_rank g.severity) in
+      if c <> 0 then c
+      else
+        let c = String.compare f.message g.message in
+        if c <> 0 then c else String.compare f.hint g.hint
+
+let normalize l = List.sort_uniq compare l
+
 let of_blif_diag (d : Lr_netlist.Blif.diag) =
   let severity =
     match d.severity with

@@ -31,6 +31,19 @@ val count : severity -> t list -> int
 val errors : t list -> t list
 (** Findings with severity {!Error}. *)
 
+val natural_compare : string -> string -> int
+(** Lexicographic, but runs of digits compare numerically: ["node 2"]
+    sorts before ["node 12"]. *)
+
+val compare : t -> t -> int
+(** Total order: location ({!natural_compare}), then rule id, then
+    severity (errors first), then message and hint. *)
+
+val normalize : t list -> t list
+(** Sort under {!compare} and drop exact duplicates — the canonical
+    order of every finding list the tools emit, so reports and cram
+    expectations never depend on discovery order. *)
+
 val of_blif_diag : Lr_netlist.Blif.diag -> t
 (** Adapt a BLIF source diagnostic: [rule] is ["blif-source"], [where]
     the 1-based source line (and offending signal, when known). *)

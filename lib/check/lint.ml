@@ -96,7 +96,7 @@ let netlist c =
              (sprintf "output is the constant %s" (if b then "1" else "0")))
     | _ -> ()
   done;
-  List.rev !findings
+  F.normalize !findings
 
 let aig a =
   let findings = ref [] in
@@ -143,10 +143,10 @@ let aig a =
            (sprintf "output is the constant %s"
               (if Aig.lit_phase (Aig.output a o) then "1" else "0")))
   done;
-  List.rev !findings
+  F.normalize !findings
 
 let blif_source text =
-  List.map Finding.of_blif_diag (Lr_netlist.Blif.lint text)
+  F.normalize (List.map Finding.of_blif_diag (Lr_netlist.Blif.lint text))
 
 type cone = {
   output : int;

@@ -11,6 +11,19 @@ let check_level_of_string = function
   | "full" -> Some Full
   | _ -> None
 
+type sweep_level = Sweep_off | Sweep_const | Sweep_full
+
+let sweep_level_string = function
+  | Sweep_off -> "off"
+  | Sweep_const -> "const"
+  | Sweep_full -> "full"
+
+let sweep_level_of_string = function
+  | "off" -> Some Sweep_off
+  | "const" -> Some Sweep_const
+  | "full" -> Some Sweep_full
+  | _ -> None
+
 type t = {
   seed : int;
   use_grouping : bool;
@@ -30,6 +43,7 @@ type t = {
   refine_rounds : int;
   time_budget_s : float option;
   check_level : check_level;
+  sweep : sweep_level;
   jobs : int;
   retry : Lr_faults.Faults.retry;
   faults : Lr_faults.Faults.spec option;
@@ -55,6 +69,7 @@ let contest =
     refine_rounds = 0;
     time_budget_s = None;
     check_level = Off;
+    sweep = Sweep_off;
     jobs = 1;
     retry = Lr_faults.Faults.no_retry;
     faults = None;
@@ -75,6 +90,7 @@ let default = improved
 let with_seed seed t = { t with seed }
 let with_time_budget time_budget_s t = { t with time_budget_s }
 let with_check check_level t = { t with check_level }
+let with_sweep sweep t = { t with sweep }
 let with_jobs jobs t = { t with jobs }
 let with_retry retry t = { t with retry }
 let with_faults faults t = { t with faults }

@@ -19,6 +19,20 @@ val check_level_string : check_level -> string
 
 val check_level_of_string : string -> check_level option
 
+(** How hard the post-optimization netlist sweep ({!Lr_dataflow.Sweep})
+    works: [Sweep_off] skips it entirely (the presets' value — default
+    runs are bit-identical to a build without the sweep); [Sweep_const]
+    runs only ternary constant propagation; [Sweep_full] adds SAT-proven
+    duplicate-cone merging, XOR-structure recovery and ODC
+    resubstitution. Every rewrite is CEC-verified when [check_level] is
+    [Full]. The sweep issues no black-box queries. *)
+type sweep_level = Sweep_off | Sweep_const | Sweep_full
+
+val sweep_level_string : sweep_level -> string
+(** ["off"] / ["const"] / ["full"] — the CLI spelling. *)
+
+val sweep_level_of_string : string -> sweep_level option
+
 type t = {
   seed : int;  (** master RNG seed; everything else derives from it *)
   use_grouping : bool;  (** step 1 of Figure 1 *)
@@ -48,6 +62,7 @@ type t = {
           reporting [budget_exceeded]; [None] (the presets' value)
           disables the check *)
   check_level : check_level;
+  sweep : sweep_level;  (** post-optimization netlist sweep (presets: off) *)
   jobs : int;
       (** worker domains for the per-output conquer stage (1 = run
           inline on the calling domain, the presets' value; [<= 0] =
@@ -72,6 +87,7 @@ val default : t
 val with_seed : int -> t -> t
 val with_time_budget : float option -> t -> t
 val with_check : check_level -> t -> t
+val with_sweep : sweep_level -> t -> t
 val with_jobs : int -> t -> t
 val with_retry : Lr_faults.Faults.retry -> t -> t
 val with_faults : Lr_faults.Faults.spec option -> t -> t

@@ -18,6 +18,7 @@ module Log = Lr_obs.Log
 module Histogram = Lr_report.Histogram
 module Gcstat = Lr_report.Gcstat
 module Selfcheck = Lr_check.Selfcheck
+module Sweep = Lr_dataflow.Sweep
 module Lint = Lr_check.Lint
 module Finding = Lr_check.Finding
 module Par = Lr_par.Par
@@ -73,6 +74,8 @@ type report = {
   check_level : Config.check_level;
   checks_verified : int;
       (** semantic verifications that passed (0 unless [check_level = Full]) *)
+  sweep_removed : int;
+      (** gates reclaimed by the dataflow sweep (0 when [sweep = Sweep_off]) *)
   lint_findings : Lr_check.Finding.t list;
       (** structural lint of the final circuit ([] when [check_level = Off]) *)
   jobs : int;
@@ -86,7 +89,7 @@ type report = {
    inside the phase they guard (e.g. inside "aig-opt" for per-pass CEC),
    so the "check" row overlaps the others rather than adding to them. *)
 let phase_names =
-  [ "templates"; "support-id"; "fbdt"; "cover-min"; "aig-opt"; "check" ]
+  [ "templates"; "support-id"; "fbdt"; "cover-min"; "aig-opt"; "sweep"; "check" ]
 
 (* representative (lhs, rhs) vector values realising the predicate value:
    [reps op] = ((x_false, y_false), (x_true, y_true)) *)
@@ -277,6 +280,9 @@ let learn ?(config = Config.default) box =
      not checking is on, so checked and unchecked runs learn the same
      circuit *)
   let check_rng = Rng.split master_rng in
+  (* likewise split unconditionally, after every pre-existing stream, so
+     runs with the sweep off are bit-identical to builds without it *)
+  let sweep_rng = Rng.split master_rng in
   let checks_verified = ref 0 in
   let full_check = config.Config.check_level = Config.Full in
   let ni = Box.num_inputs box and no = Box.num_outputs box in
@@ -881,6 +887,41 @@ let learn ?(config = Config.default) box =
       optimized
     end
   in
+  (* ---- dataflow sweep: verified redundancy removal on the netlist ----
+     Runs on the calling domain after the conquer merge, so any [jobs]
+     level sees the same input netlist and the result stays bit-identical;
+     the analysis itself issues no black-box queries. *)
+  let sweep_removed = ref 0 in
+  let circuit =
+    if config.Config.sweep = Config.Sweep_off || over_budget () then circuit
+    else begin
+      let level =
+        match config.Config.sweep with
+        | Config.Sweep_const -> Sweep.Const_prop
+        | Config.Sweep_off | Config.Sweep_full -> Sweep.Full
+      in
+      let verify_stage ~stage before after =
+        phase "check" (fun () ->
+            Selfcheck.verify_netlists ~stage ~rng:check_rng before after);
+        incr checks_verified
+      in
+      let swept, st =
+        phase "sweep" (fun () ->
+            Sweep.run ~level
+              ?verify:(if full_check then Some verify_stage else None)
+              ~rng:sweep_rng circuit)
+      in
+      sweep_removed := Sweep.removed st;
+      (* end-to-end, covering stage composition *)
+      if full_check && Sweep.removed st > 0 then begin
+        phase "check" (fun () ->
+            Selfcheck.verify_netlists ~stage:"sweep" ~rng:check_rng circuit
+              swept);
+        incr checks_verified
+      end;
+      swept
+    end
+  in
   (* structural lint of the final circuit (Structural and Full) *)
   let lint_findings =
     if config.Config.check_level = Config.Off then []
@@ -961,6 +1002,7 @@ let learn ?(config = Config.default) box =
     budget_exceeded = !budget_hit;
     check_level = config.Config.check_level;
     checks_verified = !checks_verified;
+    sweep_removed = !sweep_removed;
     lint_findings;
     jobs;
     domain_times;

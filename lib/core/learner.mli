@@ -92,6 +92,12 @@ type report = {
       (** semantic self-checks that passed — truth-table re-simulations,
           cover CECs, per-pass and end-to-end optimization CECs; 0 unless
           [check_level = Full] *)
+  sweep_removed : int;
+      (** gates the dataflow sweep ({!Lr_dataflow.Sweep}) reclaimed from
+          the optimized netlist; 0 when {!Config.t.sweep} is [Sweep_off].
+          The sweep runs after the conquer merge on the calling domain
+          and issues no black-box queries, so any [jobs] level produces
+          the same swept circuit *)
   lint_findings : Lr_check.Finding.t list;
       (** structural lint of the final circuit ([] when
           [check_level = Off]); never contains error-severity findings —

@@ -1,0 +1,145 @@
+module N = Lr_netlist.Netlist
+module L = Lattice
+
+let fanout_lists c =
+  let n = N.num_nodes c in
+  let fo = Array.make (max n 1) [] in
+  for node = n - 1 downto 0 do
+    List.iter (fun a -> fo.(a) <- node :: fo.(a)) (N.fanins (N.gate c node))
+  done;
+  fo
+
+let values ?(assume = []) c =
+  let n = N.num_nodes c in
+  let pinned = Hashtbl.create 16 in
+  List.iter (fun (node, b) -> Hashtbl.replace pinned node b) assume;
+  let fo = fanout_lists c in
+  let transfer get node =
+    match Hashtbl.find_opt pinned node with
+    | Some b -> L.of_bool b
+    | None -> (
+        match N.gate c node with
+        | N.Const b -> L.of_bool b
+        | N.Input _ -> L.Top
+        | N.Not a -> L.not_ (get a)
+        | N.And2 (a, b) -> L.and_ (get a) (get b)
+        | N.Or2 (a, b) -> L.or_ (get a) (get b)
+        | N.Xor2 (a, b) -> L.xor_ (get a) (get b)
+        | N.Nand2 (a, b) -> L.nand_ (get a) (get b)
+        | N.Nor2 (a, b) -> L.nor_ (get a) (get b)
+        | N.Xnor2 (a, b) -> L.xnor_ (get a) (get b))
+  in
+  L.fixpoint ~n ~direction:L.Forward
+    ~dependents:(fun node -> fo.(node))
+    ~transfer ~equal:L.equal
+    ~init:(fun _ -> L.Top)
+
+let constants ?values:vo c =
+  let vals = match vo with Some v -> v | None -> values c in
+  let reach = N.reachable c in
+  let out = ref [] in
+  for node = N.num_nodes c - 1 downto 0 do
+    if reach.(node) then
+      match N.gate c node with
+      | N.Const _ | N.Input _ -> ()
+      | _ -> (
+          match L.to_bool vals.(node) with
+          | Some b -> out := (node, b) :: !out
+          | None -> ())
+  done;
+  !out
+
+(* masks are packed 63 outputs per word, flat across nodes *)
+type obs = { masks : int array; words : int; num_nodes : int }
+
+let bits_per_word = 63
+
+let observability ?values:vo c =
+  let n = N.num_nodes c in
+  let no = N.num_outputs c in
+  let vals = match vo with Some v -> v | None -> values c in
+  let w = max 1 ((no + bits_per_word - 1) / bits_per_word) in
+  let fo = fanout_lists c in
+  (* outputs bound directly to each node *)
+  let po_mask = Array.make (max n 1) [] in
+  for o = no - 1 downto 0 do
+    let root = N.output c o in
+    po_mask.(root) <- o :: po_mask.(root)
+  done;
+  (* is the edge [a -> z] blocked by a controlling sibling or a constant
+     gate value at [z]? *)
+  let blocked z a =
+    if L.to_bool vals.(z) <> None then true
+    else
+      match N.gate c z with
+      | N.Const _ | N.Input _ -> true (* no fanin edges *)
+      | N.Not _ | N.Xor2 _ | N.Xnor2 _ -> false
+      | N.And2 (x, y) | N.Nand2 (x, y) ->
+          let other = if a = x then y else x in
+          other <> a && vals.(other) = L.Zero
+      | N.Or2 (x, y) | N.Nor2 (x, y) ->
+          let other = if a = x then y else x in
+          other <> a && vals.(other) = L.One
+  in
+  let transfer get node =
+    let m = Array.make w 0 in
+    List.iter
+      (fun o -> m.(o / bits_per_word) <- m.(o / bits_per_word) lor (1 lsl (o mod bits_per_word)))
+      po_mask.(node);
+    List.iter
+      (fun z ->
+        if not (blocked z node) then begin
+          let mz = get z in
+          for i = 0 to w - 1 do
+            m.(i) <- m.(i) lor mz.(i)
+          done
+        end)
+      fo.(node);
+    m
+  in
+  let per_node =
+    L.fixpoint ~n ~direction:L.Backward
+      ~dependents:(fun node -> N.fanins (N.gate c node))
+      ~transfer
+      ~equal:(fun a b -> a = b)
+      ~init:(fun _ -> Array.make w 0)
+  in
+  let masks = Array.make (max 1 (n * w)) 0 in
+  Array.iteri (fun node m -> Array.blit m 0 masks (node * w) w) per_node;
+  { masks; words = w; num_nodes = n }
+
+let observed t node =
+  let any = ref false in
+  for i = 0 to t.words - 1 do
+    if t.masks.((node * t.words) + i) <> 0 then any := true
+  done;
+  !any
+
+let observed_by t node o =
+  t.masks.((node * t.words) + (o / bits_per_word)) land (1 lsl (o mod bits_per_word)) <> 0
+
+let popcount x =
+  let c = ref 0 and v = ref x in
+  while !v <> 0 do
+    v := !v land (!v - 1);
+    incr c
+  done;
+  !c
+
+let observers t node =
+  let k = ref 0 in
+  for i = 0 to t.words - 1 do
+    k := !k + popcount t.masks.((node * t.words) + i)
+  done;
+  !k
+
+let unobservable ?values:vo c =
+  let vals = match vo with Some v -> v | None -> values c in
+  let obs = observability ~values:vals c in
+  let reach = N.reachable c in
+  Array.init (N.num_nodes c) (fun node ->
+      reach.(node)
+      && (match N.gate c node with
+         | N.Const _ | N.Input _ -> false
+         | _ -> true)
+      && not (observed obs node))

@@ -1,0 +1,49 @@
+(** Abstract interpretation over a netlist DAG.
+
+    Two analyses on top of {!Lattice.fixpoint}, both purely structural —
+    no black-box queries, no SAT:
+
+    {b Forward constant propagation} computes the ternary value of every
+    node: a node whose value comes out [Zero]/[One] is a satisfiability
+    don't-care for its fanout — the circuit can never present the other
+    value there. [?assume] pins chosen nodes (typically primary inputs)
+    to constants, so an incompletely-specified care set can be folded in.
+
+    {b Backward observability} computes, per node, the set of primary
+    outputs that can observe a change at the node. An edge into a gate is
+    blocked when a sibling operand carries a controlling constant (AND/
+    NAND sibling at [Zero], OR/NOR sibling at [One]) or when the gate's
+    own value is already constant; XOR/XNOR never block. A reachable node
+    observed by no output is semantically dead — an observability
+    don't-care over the whole input space. *)
+
+module N = Lr_netlist.Netlist
+
+val fanout_lists : N.t -> int list array
+(** Per-node direct fanout nodes, each list in ascending order. *)
+
+val values : ?assume:(N.node * bool) list -> N.t -> Lattice.v array
+(** Forward three-valued evaluation of every node. *)
+
+val constants : ?values:Lattice.v array -> N.t -> (N.node * bool) list
+(** Reachable gate nodes (not [Const]/[Input]) proven constant by forward
+    propagation, in ascending node order. *)
+
+(** Observability masks: one bitset of primary outputs per node. *)
+type obs
+
+val observability : ?values:Lattice.v array -> N.t -> obs
+(** [?values] supplies forward values (e.g. computed under an [?assume]
+    care set); defaults to unassumed {!values}. *)
+
+val observed : obs -> N.node -> bool
+(** Some primary output observes the node. *)
+
+val observed_by : obs -> N.node -> int -> bool
+(** [observed_by obs n o]: can output [o] observe node [n]? *)
+
+val observers : obs -> N.node -> int
+(** Number of outputs observing the node. *)
+
+val unobservable : ?values:Lattice.v array -> N.t -> bool array
+(** Per node: a reachable gate ([Not] or 2-input) no output observes. *)

@@ -1,0 +1,99 @@
+module Instr = Lr_instr.Instr
+
+type v = Zero | One | Top
+
+let equal (a : v) b = a = b
+let join a b = if a = b then a else Top
+let of_bool b = if b then One else Zero
+let to_bool = function Zero -> Some false | One -> Some true | Top -> None
+let to_string = function Zero -> "0" | One -> "1" | Top -> "T"
+let not_ = function Zero -> One | One -> Zero | Top -> Top
+
+(* controlling values short-circuit: And(Zero, Top) = Zero *)
+let and_ a b =
+  match a, b with
+  | Zero, _ | _, Zero -> Zero
+  | One, x | x, One -> x
+  | Top, Top -> Top
+
+let or_ a b =
+  match a, b with
+  | One, _ | _, One -> One
+  | Zero, x | x, Zero -> x
+  | Top, Top -> Top
+
+let xor_ a b =
+  match a, b with
+  | Top, _ | _, Top -> Top
+  | _ -> of_bool (a <> b)
+
+let nand_ a b = not_ (and_ a b)
+let nor_ a b = not_ (or_ a b)
+let xnor_ a b = not_ (xor_ a b)
+
+type direction = Forward | Backward
+
+(* Binary min-heap of node ids under a direction-dependent priority, with a
+   membership bitmap so a node is queued at most once. Processing lowest
+   ids first (forward) means a topologically ordered DAG is evaluated in
+   dependency order and settles in a single pass. *)
+let fixpoint ~n ~direction ~dependents ~transfer ~equal ~init =
+  let values = Array.init n init in
+  if n > 0 then begin
+    let key = match direction with Forward -> fun i -> i | Backward -> fun i -> n - 1 - i in
+    let heap = Array.make n 0 in
+    let size = ref 0 in
+    let inq = Array.make n false in
+    let swap i j =
+      let t = heap.(i) in
+      heap.(i) <- heap.(j);
+      heap.(j) <- t
+    in
+    let push node =
+      if not inq.(node) then begin
+        inq.(node) <- true;
+        heap.(!size) <- node;
+        incr size;
+        let i = ref (!size - 1) in
+        while !i > 0 && key heap.(!i) < key heap.((!i - 1) / 2) do
+          swap !i ((!i - 1) / 2);
+          i := (!i - 1) / 2
+        done
+      end
+    in
+    let pop () =
+      let top = heap.(0) in
+      decr size;
+      heap.(0) <- heap.(!size);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let m = ref !i in
+        if l < !size && key heap.(l) < key heap.(!m) then m := l;
+        if r < !size && key heap.(r) < key heap.(!m) then m := r;
+        if !m = !i then continue := false
+        else begin
+          swap !i !m;
+          i := !m
+        end
+      done;
+      inq.(top) <- false;
+      top
+    in
+    (match direction with
+    | Forward -> for i = 0 to n - 1 do push i done
+    | Backward -> for i = n - 1 downto 0 do push i done);
+    let steps = ref 0 in
+    while !size > 0 do
+      let node = pop () in
+      incr steps;
+      let v = transfer (fun i -> values.(i)) node in
+      if not (equal v values.(node)) then begin
+        values.(node) <- v;
+        List.iter push (dependents node)
+      end
+    done;
+    Instr.count "dataflow.fixpoint-steps" !steps
+  end;
+  values

@@ -1,0 +1,56 @@
+(** The ternary value lattice and a generic dataflow fixpoint engine.
+
+    Abstract interpretation over a gate DAG needs only three facts about a
+    signal: it is constant 0, constant 1, or unknown ([Top]). The lattice
+    order is [Zero, One < Top]; [join] is the least upper bound. The gate
+    transfer functions below are the three-valued evaluations of the
+    primitive gates, short-circuiting on controlling values (an AND with a
+    [Zero] operand is [Zero] even if the other operand is [Top]).
+
+    {!fixpoint} is the engine shared by the forward and backward analyses
+    in {!Absint}: a worklist iteration over an arbitrary value domain,
+    prioritised by node id so that on the topologically-ordered DAGs the
+    netlist builder produces, it converges in a single sweep. *)
+
+type v = Zero | One | Top
+
+val equal : v -> v -> bool
+val join : v -> v -> v
+val of_bool : bool -> v
+
+val to_bool : v -> bool option
+(** [Some b] when the value is a known constant, [None] for [Top]. *)
+
+val to_string : v -> string
+(** ["0"], ["1"], ["T"]. *)
+
+(** {2 Three-valued gate transfer functions} *)
+
+val not_ : v -> v
+val and_ : v -> v -> v
+val or_ : v -> v -> v
+val xor_ : v -> v -> v
+val nand_ : v -> v -> v
+val nor_ : v -> v -> v
+val xnor_ : v -> v -> v
+
+(** {2 Generic fixpoint worklist} *)
+
+type direction = Forward | Backward
+
+val fixpoint :
+  n:int ->
+  direction:direction ->
+  dependents:(int -> int list) ->
+  transfer:((int -> 'a) -> int -> 'a) ->
+  equal:('a -> 'a -> bool) ->
+  init:(int -> 'a) ->
+  'a array
+(** [fixpoint ~n ~direction ~dependents ~transfer ~equal ~init] iterates
+    [transfer get node] to a fixed point over nodes [0..n-1]. Every node
+    is evaluated at least once; whenever a node's value changes, its
+    [dependents] are re-queued. The worklist is a priority queue on node
+    id — ascending for [Forward], descending for [Backward] — so
+    topologically ordered inputs converge in one pass ([dependents] of a
+    forward analysis are the fanouts, of a backward analysis the fanins).
+    Steps are counted under ["dataflow.fixpoint-steps"]. *)

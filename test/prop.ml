@@ -30,6 +30,7 @@ module Lint = Lr_check.Lint
 module Finding = Lr_check.Finding
 module Config = Logic_regression.Config
 module Learner = Logic_regression.Learner
+module Sweep = Lr_dataflow.Sweep
 
 (* ---------------- the harness ---------------- *)
 
@@ -199,6 +200,21 @@ let prop_compress_preserves () =
              Aig.simulate aig w = Aig.simulate optimized w)
            [ (); (); () ])
 
+let prop_sweep_preserves () =
+  check_prop "Sweep.run preserves function and never grows" arb_recipe
+    (fun r ->
+      let n = build_netlist r in
+      let swept, st = Sweep.run ~rng:(Rng.create 13) n in
+      N.size swept <= N.size n
+      && Sweep.removed st = N.size n - N.size swept
+      &&
+      let rng = Rng.create 29 in
+      List.for_all
+        (fun _ ->
+          let a = Bv.random rng r.ni in
+          Bv.equal (N.eval n a) (N.eval swept a))
+        (List.init 16 Fun.id))
+
 let prop_blif_roundtrip () =
   check_prop "BLIF write/read round-trip" arb_recipe (fun r ->
       let n = build_netlist r in
@@ -351,6 +367,8 @@ let tests =
   [
     Alcotest.test_case "Opt.compress preserves function" `Quick
       prop_compress_preserves;
+    Alcotest.test_case "Sweep.run preserves function" `Quick
+      prop_sweep_preserves;
     Alcotest.test_case "BLIF round-trip" `Quick prop_blif_roundtrip;
     Alcotest.test_case "native round-trip" `Quick prop_native_roundtrip;
     Alcotest.test_case "AIGER round-trip" `Quick prop_aiger_roundtrip;

@@ -1,0 +1,283 @@
+(* The semantic dataflow engine: lattice laws, the generic fixpoint,
+   forward/backward abstract interpretation, SAT-backed equivalence
+   classes, the rebuild engine and the verified sweep — plus the
+   learner-level contract (sweep issues no queries, never grows the
+   circuit, preserves the function). *)
+
+module Bv = Lr_bitvec.Bv
+module Rng = Lr_bitvec.Rng
+module N = Lr_netlist.Netlist
+module Equiv = Lr_aig.Equiv
+module L = Lr_dataflow.Lattice
+module Absint = Lr_dataflow.Absint
+module Equivcls = Lr_dataflow.Equivcls
+module Rebuild = Lr_dataflow.Rebuild
+module Sweep = Lr_dataflow.Sweep
+module Semantic = Lr_dataflow.Semantic
+module Finding = Lr_check.Finding
+module Cases = Lr_cases.Cases
+module Config = Logic_regression.Config
+module Learner = Logic_regression.Learner
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let names prefix n = Array.init n (fun i -> Printf.sprintf "%s%d" prefix i)
+
+let fresh ni no =
+  N.create ~input_names:(names "x" ni) ~output_names:(names "z" no)
+
+let assert_equivalent label c1 c2 =
+  match Equiv.check c1 c2 with
+  | Equiv.Equivalent -> ()
+  | Equiv.Counterexample cex ->
+      Alcotest.failf "%s: not equivalent on %s" label (Bv.to_string cex)
+
+(* -------------------------------------------------------------- lattice *)
+
+let test_lattice_laws () =
+  let all = [ L.Zero; L.One; L.Top ] in
+  List.iter
+    (fun a ->
+      check "join idempotent" true (L.equal (L.join a a) a);
+      check "top absorbs" true (L.equal (L.join a L.Top) L.Top);
+      List.iter
+        (fun b -> check "join commutes" true (L.equal (L.join a b) (L.join b a)))
+        all)
+    all;
+  (* controlling values decide even against Top *)
+  check "0 controls AND" true (L.equal (L.and_ L.Zero L.Top) L.Zero);
+  check "1 controls OR" true (L.equal (L.or_ L.Top L.One) L.One);
+  check "0 controls NAND" true (L.equal (L.nand_ L.Zero L.Top) L.One);
+  check "1 controls NOR" true (L.equal (L.nor_ L.One L.Top) L.Zero);
+  (* XOR/XNOR have no controlling value *)
+  check "XOR leaks nothing" true (L.equal (L.xor_ L.Zero L.Top) L.Top);
+  check "XNOR leaks nothing" true (L.equal (L.xnor_ L.One L.Top) L.Top);
+  (* known operands evaluate exactly *)
+  check "1 xor 1" true (L.equal (L.xor_ L.One L.One) L.Zero);
+  check "not 0" true (L.equal (L.not_ L.Zero) L.One);
+  check "to_bool" true (L.to_bool L.One = Some true && L.to_bool L.Top = None)
+
+let test_fixpoint_directions () =
+  (* forward chain: v(0) = 1, v(i) = v(i-1) + 1 *)
+  let n = 5 in
+  let fwd =
+    L.fixpoint ~n ~direction:L.Forward
+      ~dependents:(fun i -> if i < n - 1 then [ i + 1 ] else [])
+      ~transfer:(fun get i -> if i = 0 then 1 else get (i - 1) + 1)
+      ~equal:Int.equal
+      ~init:(fun _ -> 0)
+  in
+  Alcotest.(check (array int)) "forward chain" [| 1; 2; 3; 4; 5 |] fwd;
+  (* backward chain: v(n-1) = 1, v(i) = v(i+1) + 1 *)
+  let bwd =
+    L.fixpoint ~n ~direction:L.Backward
+      ~dependents:(fun i -> if i > 0 then [ i - 1 ] else [])
+      ~transfer:(fun get i -> if i = n - 1 then 1 else get (i + 1) + 1)
+      ~equal:Int.equal
+      ~init:(fun _ -> 0)
+  in
+  Alcotest.(check (array int)) "backward chain" [| 5; 4; 3; 2; 1 |] bwd
+
+(* --------------------------------------------------------------- absint *)
+
+let test_values_assume () =
+  let c = fresh 2 1 in
+  let a = N.input c 0 and b = N.input c 1 in
+  let g = N.and_ c a b in
+  N.set_output c 0 (N.or_ c g (N.not_ c b));
+  let free = Absint.values c in
+  check "unassumed gate is Top" true (L.equal free.(g) L.Top);
+  check "no free constants" true (Absint.constants ~values:free c = []);
+  (* pin b = 0: the AND dies, the output is forced to 1 *)
+  let pinned = Absint.values ~assume:[ (b, false) ] c in
+  check "AND under b=0" true (L.equal pinned.(g) L.Zero);
+  check "output under b=0" true (L.equal pinned.(N.output c 0) L.One);
+  let consts = Absint.constants ~values:pinned c in
+  check "AND reported constant" true (List.mem_assoc g consts)
+
+let test_observability_blocking () =
+  let c = fresh 2 2 in
+  let a = N.input c 0 and b = N.input c 1 in
+  N.set_output c 0 a;
+  N.set_output c 1 (N.and_ c a b);
+  let obs = Absint.observability c in
+  check "a seen by both outputs" true
+    (Absint.observed_by obs a 0 && Absint.observed_by obs a 1);
+  check "b seen only through the AND" true
+    ((not (Absint.observed_by obs b 0)) && Absint.observed_by obs b 1);
+  check_int "observer count of a" 2 (Absint.observers obs a);
+  (* under b = 0 the AND is constant, so its fanin edges are blocked:
+     a stays observable through output 0 only *)
+  let vals = Absint.values ~assume:[ (b, false) ] c in
+  let obs0 = Absint.observability ~values:vals c in
+  check "a blocked at the dead AND" true
+    (Absint.observed_by obs0 a 0 && not (Absint.observed_by obs0 a 1));
+  check "b observed nowhere" false (Absint.observed obs0 b)
+
+(* ------------------------------------------------------------- equivcls *)
+
+let test_equivcls_de_morgan () =
+  let c = fresh 2 2 in
+  let a = N.input c 0 and b = N.input c 1 in
+  let direct = N.or_ c a b in
+  (* the De Morgan twin is structurally distinct: strash cannot merge it *)
+  let twin = N.and_ c (N.not_ c a) (N.not_ c b) in
+  N.set_output c 0 direct;
+  N.set_output c 1 (N.not_ c twin);
+  check "strash kept them apart" true (direct <> N.not_ c twin);
+  let eq = Equivcls.compute ~rng:(Rng.create 42) c in
+  check_int "twin resolves to the OR" direct (Equivcls.repr_node eq twin);
+  check "twin is the complement" true (Equivcls.repr_phase eq twin);
+  check "at least one SAT proof" true (eq.Equivcls.proved >= 1)
+
+let test_equivcls_sat_constant () =
+  (* x XOR y XOR (x XNOR y) is the constant 1, invisible to the lattice
+     and to strashing, provable by SAT *)
+  let c = fresh 2 1 in
+  let a = N.input c 0 and b = N.input c 1 in
+  let g = N.xor_ c (N.xor_ c a b) (N.xnor_ c a b) in
+  N.set_output c 0 g;
+  check "strash kept the tautology" true (g <> N.const_true c);
+  let vals = Absint.values c in
+  check "lattice cannot see it" true (L.equal vals.(g) L.Top);
+  let eq = Equivcls.compute ~rng:(Rng.create 7) c in
+  check "SAT resolves it to constant true" true
+    (Equivcls.repr_node eq g = 1 && not (Equivcls.repr_phase eq g)
+    || (Equivcls.repr_node eq g = 0 && Equivcls.repr_phase eq g))
+
+(* -------------------------------------------------------------- rebuild *)
+
+let test_rebuild_const_action () =
+  let c = fresh 2 1 in
+  let a = N.input c 0 and b = N.input c 1 in
+  let g = N.and_ c a b in
+  N.set_output c 0 (N.or_ c g a);
+  let plan node = if node = g then Rebuild.Const true else Rebuild.Keep in
+  let c' = Rebuild.apply c plan in
+  (* OR(1, a) folds to the constant; the whole cone evaporates *)
+  check_int "all gates folded away" 0 (N.size c');
+  check "output pinned to 1" true
+    (Bv.get (N.eval c' (Bv.of_string "00")) 0
+    && Bv.get (N.eval c' (Bv.of_string "11")) 0)
+
+(* ---------------------------------------------------------------- sweep *)
+
+(* the XOR shape an AIG round-trip leaves: NOR of (a AND b, ~a AND ~b) *)
+let xor_tree c a b =
+  let p = N.and_ c a b in
+  let q = N.and_ c (N.not_ c a) (N.not_ c b) in
+  N.nor_ c p q
+
+let test_sweep_recovers_xor () =
+  let c = fresh 3 1 in
+  let a = N.input c 0 and b = N.input c 1 and s = N.input c 2 in
+  N.set_output c 0 (N.and_ c (xor_tree c a b) s);
+  check_int "tree costs four gates" 4 (N.size c);
+  let verified = ref 0 in
+  let swept, st =
+    Sweep.run
+      ~verify:(fun ~stage:_ before after -> incr verified;
+        assert_equivalent "sweep stage" before after)
+      ~rng:(Rng.create 5) c
+  in
+  check "xor recovered" true (st.Sweep.xor_recovered >= 1);
+  check_int "two gates remain" 2 (N.size swept);
+  check_int "stats match" 2 (Sweep.removed st);
+  check "verify hook ran" true (!verified >= 1);
+  assert_equivalent "sweep result" c swept
+
+let test_sweep_never_grows () =
+  (* an already-minimal netlist: the sweep must be the identity *)
+  let c = fresh 3 1 in
+  let x i = N.input c i in
+  N.set_output c 0 (N.xor_ c (N.and_ c (x 0) (x 1)) (x 2));
+  let swept, st = Sweep.run ~rng:(Rng.create 9) c in
+  check_int "nothing removed" 0 (Sweep.removed st);
+  check_int "size unchanged" (N.size c) (N.size swept);
+  assert_equivalent "identity sweep" c swept
+
+let test_sweep_const_level () =
+  (* Const_prop alone must not touch SAT-provable-only redundancy *)
+  let c = fresh 2 1 in
+  let a = N.input c 0 and b = N.input c 1 in
+  N.set_output c 0 (N.or_ c (N.or_ c a b) (xor_tree c a b));
+  let _, st = Sweep.run ~level:Sweep.Const_prop ~rng:(Rng.create 3) c in
+  check_int "no merges at const level" 0 st.Sweep.merged;
+  check_int "no xor recovery at const level" 0 st.Sweep.xor_recovered;
+  check_int "no odc rewrites at const level" 0 st.Sweep.odc_rewrites
+
+(* ------------------------------------------------------------- semantic *)
+
+let test_semantic_rules () =
+  let c = fresh 2 2 in
+  let a = N.input c 0 and b = N.input c 1 in
+  N.set_output c 0 (xor_tree c a b);
+  N.set_output c 1 (N.xor_ c a b);
+  let findings = Semantic.netlist c in
+  let rules = List.map (fun (r, _) -> r) (Semantic.rule_counts findings) in
+  check "xor-convertible fires" true (List.mem "xor-convertible" rules);
+  check "outputs proven duplicates" true (List.mem "duplicate-output" rules);
+  check "normalized output" true (Finding.normalize findings = findings);
+  check "estimate positive" true (Semantic.removal_estimate c > 0)
+
+(* -------------------------------------------------------------- learner *)
+
+let fast =
+  {
+    Config.default with
+    Config.support_rounds = 192;
+    node_rounds = 32;
+    max_tree_nodes = 512;
+    optimize_rounds = 1;
+    fraig_words = 4;
+    check_level = Config.Full;
+  }
+
+let test_learner_sweep_contract () =
+  let learn sweep =
+    let box = Cases.blackbox (Cases.find "case_7") in
+    Learner.learn ~config:{ fast with Config.sweep } box
+  in
+  let base = learn Config.Sweep_off in
+  let swept = learn Config.Sweep_full in
+  check_int "sweep off reports nothing" 0 base.Learner.sweep_removed;
+  check_int "sweep issues no black-box queries" 0
+    (List.assoc "sweep" swept.Learner.phase_queries);
+  check_int "query counts identical" base.Learner.queries swept.Learner.queries;
+  (* the pre-sweep circuit is bit-identical across the two runs, so the
+     reported removal is exactly the size difference *)
+  check_int "removal accounts the size difference"
+    (N.size base.Learner.circuit - N.size swept.Learner.circuit)
+    swept.Learner.sweep_removed;
+  check "sweep never grows" true
+    (N.size swept.Learner.circuit <= N.size base.Learner.circuit);
+  assert_equivalent "swept learner circuit" base.Learner.circuit
+    swept.Learner.circuit
+
+let tests =
+  [
+    Alcotest.test_case "lattice laws" `Quick test_lattice_laws;
+    Alcotest.test_case "fixpoint both directions" `Quick
+      test_fixpoint_directions;
+    Alcotest.test_case "forward values under assumptions" `Quick
+      test_values_assume;
+    Alcotest.test_case "observability blocking" `Quick
+      test_observability_blocking;
+    Alcotest.test_case "equivalence classes across De Morgan" `Quick
+      test_equivcls_de_morgan;
+    Alcotest.test_case "SAT-only constant detected" `Quick
+      test_equivcls_sat_constant;
+    Alcotest.test_case "rebuild constant action" `Quick
+      test_rebuild_const_action;
+    Alcotest.test_case "sweep recovers XOR trees" `Quick
+      test_sweep_recovers_xor;
+    Alcotest.test_case "sweep is identity on minimal logic" `Quick
+      test_sweep_never_grows;
+    Alcotest.test_case "const level stays structural" `Quick
+      test_sweep_const_level;
+    Alcotest.test_case "semantic rules fire and normalize" `Quick
+      test_semantic_rules;
+    Alcotest.test_case "learner sweep contract" `Quick
+      test_learner_sweep_contract;
+  ]

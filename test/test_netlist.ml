@@ -220,6 +220,42 @@ let test_cone_traversal () =
   check_int "fanout sums to edge + output count" !edges
     (Array.fold_left ( + ) 0 fo)
 
+let test_cone_helpers_degenerate () =
+  (* no outputs: nothing is reachable, only fanin edges are counted *)
+  let c0 = fresh 2 0 in
+  let g = N.and_ c0 (N.input c0 0) (N.input c0 1) in
+  let r = N.reachable c0 in
+  check "no outputs -> gate unreachable" false r.(g);
+  check "no outputs -> input unreachable" false r.(N.input c0 0);
+  check "no outputs -> constant unreachable" false r.(0);
+  let fo = N.fanout_counts c0 in
+  check_int "dead AND still counts its fanin edges" 2
+    (Array.fold_left ( + ) 0 fo);
+  check_int "dead AND itself has no fanout" 0 fo.(g);
+  (* PI-only: an output wired straight to an input *)
+  let c1 = fresh 1 1 in
+  N.set_output c1 0 (N.input c1 0);
+  let r = N.reachable c1 in
+  check "wired input reachable" true r.(N.input c1 0);
+  check "constants not reachable through a wire" false (r.(0) || r.(1));
+  check "inputs have no fanins" true (N.fanins (N.gate c1 (N.input c1 0)) = []);
+  let fo = N.fanout_counts c1 in
+  check_int "output reference counts as fanout" 1 fo.(N.input c1 0);
+  (* single-node: a constant-only netlist (no inputs at all) *)
+  let c2 = fresh 0 1 in
+  N.set_output c2 0 (N.const_false c2);
+  check_int "constant netlist has just the two const nodes" 2 (N.num_nodes c2);
+  let r = N.reachable c2 in
+  check "driven constant reachable, the other not" true (r.(0) && not r.(1));
+  check "constants have no fanins" true (N.fanins (N.gate c2 0) = []);
+  let fo = N.fanout_counts c2 in
+  check_int "constant fanout is the output reference" 1 fo.(0);
+  check_int "size of a constant netlist" 0 (N.size c2);
+  (* reachable_from with no roots marks nothing *)
+  let r = N.reachable_from c0 [] in
+  check "empty root set marks nothing" true
+    (Array.for_all (fun b -> not b) r)
+
 let prop_mux =
   QCheck.Test.make ~name:"mux semantics" ~count:100 QCheck.(int_range 0 7)
     (fun m ->
@@ -243,5 +279,7 @@ let tests =
     Alcotest.test_case "scale & linear combination" `Quick test_scale_and_linear;
     Alcotest.test_case "SOP realisation" `Quick test_sop_builder;
     Alcotest.test_case "cone traversal" `Quick test_cone_traversal;
+    Alcotest.test_case "cone helpers on degenerate netlists" `Quick
+      test_cone_helpers_degenerate;
     QCheck_alcotest.to_alcotest prop_mux;
   ]
