@@ -36,6 +36,7 @@ let time_budget = ref None
 let check_level = ref Config.Off
 let sweep_level = ref Config.Sweep_off
 let jobs = ref 1
+let kernel_on = ref true
 let fault_spec = ref None
 let retry_attempts = ref 1
 
@@ -81,7 +82,11 @@ let measure_method scale spec golden patterns f =
   let circuit = f box in
   let time_s = Unix.gettimeofday () -. t0 in
   ignore spec;
-  let accuracy = 100.0 *. Eval.accuracy_on ~patterns ~golden ~candidate:circuit in
+  let accuracy =
+    100.0
+    *. Eval.accuracy_on ~kernel:!kernel_on ~patterns ~golden
+         ~candidate:circuit ()
+  in
   { size = N.size circuit; accuracy; time_s }
 
 let ours_config preset scale seed =
@@ -94,6 +99,7 @@ let ours_config preset scale seed =
     check_level = !check_level;
     sweep = !sweep_level;
     jobs = !jobs;
+    kernel = !kernel_on;
     retry = Lr_faults.Faults.retry !retry_attempts;
     faults = !fault_spec;
   }
@@ -298,7 +304,7 @@ let extensions scale =
       let accuracy =
         100.0
         *. Eval.accuracy_on ~patterns ~golden
-             ~candidate:report.Learner.circuit
+             ~candidate:report.Learner.circuit ()
       in
       let methods =
         report.Learner.outputs
@@ -342,7 +348,7 @@ let scaling scale =
         let accuracy =
           100.0
           *. Eval.accuracy_on ~patterns ~golden
-               ~candidate:report.Learner.circuit
+               ~candidate:report.Learner.circuit ()
         in
         Printf.printf "%-10s | %10d | %9.3f | %9d | %7.1f\n%!" name budget
           accuracy
@@ -535,6 +541,14 @@ let () =
   let check, args = extract "--check" args in
   let sweep_v, args = extract "--sweep" args in
   let jobs_v, args = extract "--jobs" args in
+  let kernel_v, args = extract "--kernel" args in
+  (match kernel_v with
+  | None -> ()
+  | Some "on" -> kernel_on := true
+  | Some "off" -> kernel_on := false
+  | Some v ->
+      Printf.eprintf "bad --kernel value: %s (use on|off)\n" v;
+      exit 1);
   let faults_v, args = extract "--faults" args in
   let retry_v, args = extract "--retry" args in
   let alerts_v, args = extract "--alerts" args in
@@ -662,6 +676,21 @@ let () =
   let what = match args with [] -> "all" | w :: _ -> w in
   let rows = ref [] in
   (match what with
+  | "regen-baseline" ->
+      (* the committed baseline is defined as exactly this configuration;
+         lr_report check points here when the gate trips.  Scale, seed,
+         jobs and case are forced so the file cannot silently drift to a
+         different (incomparable) configuration. *)
+      seed_base := 1;
+      jobs := 1;
+      let baseline_rows = table2 ~only:"case_7" quick_scale in
+      rows := baseline_rows;
+      let path = "bench/baseline.json" in
+      let oc = open_out path in
+      output_string oc (Json.to_string (json_of_rows baseline_rows));
+      output_string oc "\n";
+      close_out oc;
+      Printf.printf "baseline regenerated: %s\n" path
   | "table2" -> rows := table2 ?only scale
   | "ablation" -> ablation scale
   | "extensions" -> extensions scale
@@ -675,7 +704,8 @@ let () =
       micro ()
   | other ->
       Printf.eprintf
-        "unknown benchmark %s (use table2|ablation|extensions|scaling|micro|all)\n"
+        "unknown benchmark %s (use \
+         table2|ablation|extensions|scaling|micro|all|regen-baseline)\n"
         other;
       exit 1);
   Instr.flush_sinks ();

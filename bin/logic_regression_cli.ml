@@ -170,6 +170,21 @@ let sweep_arg =
         Config.Sweep_off
     & info [ "sweep" ] ~docv:"LEVEL" ~doc)
 
+let kernel_arg =
+  let doc =
+    "Hot-path engine selection: $(b,on) (the default) runs \
+     simulation-heavy phases on the structure-of-arrays kernel with \
+     incremental dirty-cone resimulation and races hard SAT queries over \
+     a deterministic solver portfolio; $(b,off) forces the legacy \
+     tree-walking evaluators. Both settings learn the same circuit, \
+     issue the same queries and emit the same report — $(b,off) exists \
+     for differential testing and benchmarking."
+  in
+  Arg.(
+    value
+    & opt (Arg.enum [ ("on", true); ("off", false) ]) true
+    & info [ "kernel" ] ~docv:"on|off" ~doc)
+
 let jobs_arg =
   let doc =
     "Worker domains for the per-output conquer stage. $(b,1) (the \
@@ -491,8 +506,8 @@ let print_phase_breakdown oc report =
 
 let learn_run case preset seed budget eval_patterns support_rounds no_templates
     no_grouping out trace trace_jsonl progress metrics metrics_out json history
-    heartbeat time_budget check sweep jobs faults retry_attempts retry_backoff
-    listen alerts log_level log_file =
+    heartbeat time_budget check sweep jobs kernel faults retry_attempts
+    retry_backoff listen alerts log_level log_file =
   (* structured logging is on for the CLI (stderr, human format) so the
      library's warn/error records — and fatal argument errors — have a
      sink from the first line on *)
@@ -544,6 +559,7 @@ let learn_run case preset seed budget eval_patterns support_rounds no_templates
       check_level = check;
       sweep;
       jobs;
+      kernel;
       retry = Faults.retry ~backoff_s:retry_backoff retry_attempts;
       faults = fault_spec;
     }
@@ -787,9 +803,9 @@ let learn_cmd =
       $ eval_arg $ support_rounds_arg $ no_templates_arg $ no_grouping_arg
       $ out_arg $ trace_arg $ trace_jsonl_arg $ progress_arg $ metrics_arg
       $ metrics_out_arg $ json_arg $ history_arg $ heartbeat_arg
-      $ time_budget_arg $ check_arg $ sweep_arg $ jobs_arg $ faults_arg
-      $ retry_arg $ retry_backoff_arg $ listen_arg $ alerts_arg $ log_level_arg
-      $ log_file_arg)
+      $ time_budget_arg $ check_arg $ sweep_arg $ jobs_arg $ kernel_arg
+      $ faults_arg $ retry_arg $ retry_backoff_arg $ listen_arg $ alerts_arg
+      $ log_level_arg $ log_file_arg)
 
 (* ---------- baseline ---------- *)
 

@@ -221,6 +221,12 @@ let check_run old_path new_path case method_ max_gate min_acc max_time
   | vs ->
       List.iter (fun v -> Printf.printf "REGRESSION: %s\n" v) vs;
       Printf.printf "check failed: %d regression(s)\n" (List.length vs);
+      (* most gate failures against the committed baseline are stale
+         baselines, not real regressions — say how to refresh it *)
+      if Filename.basename old_path = "baseline.json" then
+        Printf.printf
+          "if the new numbers are intended, regenerate the baseline with:\n\
+          \  dune exec bench/main.exe -- regen-baseline\n";
       1
 
 let deny_alerts_arg =

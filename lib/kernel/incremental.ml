@@ -1,0 +1,75 @@
+module Instr = Lr_instr.Instr
+
+type t = {
+  soa : Soa.t;
+  words : int64 array;  (* current input words *)
+  vals : int64 array;  (* current node values *)
+  mutable resim : int list;  (* last recompute set, schedule order *)
+}
+
+let circuit t = t.soa
+let values t = t.vals
+let last_resim t = List.rev t.resim
+
+let outputs t = Soa.outputs_of_values t.soa t.vals
+
+let load t words =
+  if Array.length words <> Soa.num_inputs t.soa then
+    invalid_arg "Incremental.load: wrong input count";
+  Array.blit words 0 t.words 0 (Array.length words);
+  Soa.eval_into t.soa t.vals t.words;
+  t.resim <- List.rev (Array.to_list (Soa.schedule t.soa))
+
+let create soa =
+  let t =
+    {
+      soa;
+      words = Array.make (Soa.num_inputs soa) 0L;
+      vals = Array.make (max 1 (Soa.num_nodes soa)) 0L;
+      resim = [];
+    }
+  in
+  load t t.words;
+  t
+
+(* Recompute exactly the cone nodes, in schedule order; [skip] is a forced
+   node whose value must be left alone. Returns the recomputed list in
+   reverse schedule order. *)
+let resim_cone t cone ~skip =
+  let soa = t.soa and v = t.vals and words = t.words in
+  let recomputed = ref [] in
+  Array.iter
+    (fun n ->
+      if cone.(n) && n <> skip then begin
+        v.(n) <- Soa.eval_node soa v words n;
+        recomputed := n :: !recomputed
+      end)
+    (Soa.schedule soa);
+  Instr.count "kernel.resim-nodes" (List.length !recomputed);
+  !recomputed
+
+let set_input t i w =
+  if i < 0 || i >= Soa.num_inputs t.soa then
+    invalid_arg "Incremental.set_input: bad input";
+  t.words.(i) <- w;
+  let seeds = Soa.input_readers t.soa i in
+  let cone = Soa.fanout_cone t.soa seeds in
+  t.resim <- resim_cone t cone ~skip:(-1)
+
+let with_forced t ~node w f =
+  if node < 0 || node >= Soa.num_nodes t.soa then
+    invalid_arg "Incremental.with_forced: bad node";
+  let cone = Soa.fanout_cone t.soa [ node ] in
+  (* save every value the probe can touch, restore on the way out *)
+  let touched = ref [] in
+  Array.iter
+    (fun n -> if cone.(n) then touched := (n, t.vals.(n)) :: !touched)
+    (Soa.schedule t.soa);
+  let saved_resim = t.resim in
+  t.vals.(node) <- w;
+  t.resim <- resim_cone t cone ~skip:node;
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun (n, v) -> t.vals.(n) <- v) !touched;
+      t.resim <- saved_resim)
+    (fun () -> f t)

@@ -1,0 +1,39 @@
+(** Incremental re-simulation with dirty-cone tracking.
+
+    Holds the node values of one 64-pattern block for a compiled {!Soa}
+    circuit and re-simulates only the transitive fanout cone of whatever
+    changed — an input word, or a node forced to a hypothetical value (the
+    sweep's ODC verification probe). The recomputed set is exactly the
+    fanout cone of the seeds, never more (the minimality test in
+    [test/test_kernel.ml] pins the set down node for node), and the values
+    after any sequence of operations are bit-identical to a full
+    re-simulation from scratch. *)
+
+type t
+
+val create : Soa.t -> t
+(** Fresh engine; all inputs start at zero words. *)
+
+val circuit : t -> Soa.t
+
+val load : t -> int64 array -> unit
+(** Set every input word and fully re-simulate. *)
+
+val set_input : t -> int -> int64 -> unit
+(** Change one input word and re-simulate its cone. *)
+
+val values : t -> int64 array
+(** The current node values — a live view, do not mutate. *)
+
+val outputs : t -> int64 array
+(** Output words projected from the current values. *)
+
+val last_resim : t -> int list
+(** The nodes the last {!set_input} / {!with_forced} recomputed, in
+    schedule order ({!load} resets it to the full schedule). *)
+
+val with_forced : t -> node:int -> int64 -> (t -> 'a) -> 'a
+(** [with_forced t ~node w f] — hypothetically pin [node]'s value to [w],
+    re-simulate its fanout cone (the node itself keeps the forced word),
+    run [f], then restore every touched value. During [f],
+    {!last_resim} lists the recomputed cone (the forced node excluded). *)

@@ -1,0 +1,114 @@
+module Sat = Lr_sat.Sat
+module Par = Lr_par.Par
+module Instr = Lr_instr.Instr
+
+type racer = { solver : Sat.t; assumptions : int list }
+
+let secondary_configs =
+  [|
+    {
+      Sat.var_decay = 0.85;
+      restart_first = 50;
+      restart_inflate = (2, 1);
+      default_polarity = true;
+    };
+    {
+      Sat.var_decay = 0.99;
+      restart_first = 200;
+      restart_inflate = (3, 2);
+      default_polarity = false;
+    };
+  |]
+
+let race ?pool ?(first_budget = 10_000) ?(round_budget = 2_000) ~primary
+    ~secondaries () =
+  let pb = Sat.budget primary.solver in
+  let step_primary () =
+    Sat.solve_limited ~assumptions:primary.assumptions ~budget:pb
+      ~max_conflicts:round_budget primary.solver
+  in
+  match
+    Sat.solve_limited ~assumptions:primary.assumptions ~budget:pb
+      ~max_conflicts:first_budget primary.solver
+  with
+  | Some r -> r
+  | None ->
+      (* the query is hard: build the diversified racers and run budget
+         rounds, resolving in index order *)
+      Instr.count "kernel.portfolio-races" 1;
+      let secs =
+        Array.of_list
+          (List.map
+             (fun mk ->
+               let r = mk () in
+               (r, Sat.budget r.solver))
+             secondaries)
+      in
+      let nsec = Array.length secs in
+      let alive = Array.make nsec true in
+      let step_sec i =
+        let r, b = secs.(i) in
+        Sat.solve_limited ~assumptions:r.assumptions ~budget:b
+          ~max_conflicts:round_budget r.solver
+      in
+      let sat_seen = ref false in
+      let result = ref None in
+      while !result = None do
+        let outcomes =
+          match pool with
+          | Some pool when Par.jobs pool > 1 && not !sat_seen ->
+              (* one round in parallel: every racer steps its own solver;
+                 speculative secondary work past a deciding lower index is
+                 discarded, so the schedule cannot leak into the result *)
+              Par.map pool
+                (fun i ->
+                  if i = 0 then step_primary ()
+                  else if alive.(i - 1) then step_sec (i - 1)
+                  else None)
+                (Array.init (nsec + 1) Fun.id)
+          | _ ->
+              (* sequential round, index order, stop at the first decision
+                 — identical resolution, only the wall-clock differs *)
+              let out = Array.make (nsec + 1) None in
+              out.(0) <- step_primary ();
+              if out.(0) = None && not !sat_seen then begin
+                let i = ref 0 in
+                let decided = ref false in
+                while (not !decided) && !i < nsec do
+                  if alive.(!i) then begin
+                    out.(!i + 1) <- step_sec !i;
+                    match out.(!i + 1) with
+                    | Some Sat.Unsat -> decided := true
+                    | Some Sat.Sat -> decided := true
+                    | None -> ()
+                  end;
+                  incr i
+                done
+              end;
+              out
+        in
+        (match outcomes.(0) with
+        | Some r -> result := Some r
+        | None -> ());
+        if !result = None && not !sat_seen then begin
+          let i = ref 0 in
+          while !result = None && (not !sat_seen) && !i < nsec do
+            (if alive.(!i) then
+               match outcomes.(!i + 1) with
+               | Some Sat.Unsat ->
+                   (* no model involved: by soundness this is the verdict
+                      the primary would reach — short-circuit *)
+                   Instr.count "kernel.portfolio-unsat-wins" 1;
+                   result := Some Sat.Unsat
+               | Some Sat.Sat ->
+                   (* never surface a secondary model: remember the verdict
+                      is Sat and let the primary finish on its own
+                      trajectory *)
+                   sat_seen := true;
+                   alive.(!i) <- false
+               | None -> ());
+            incr i
+          done
+        end
+      done;
+      match !result with Some r -> r | None -> assert false

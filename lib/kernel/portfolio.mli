@@ -1,0 +1,44 @@
+(** Deterministic SAT portfolio racing.
+
+    Races a primary solver against diversified secondary configurations in
+    fixed-size budget rounds, resolving each round's outcomes in index
+    order (primary first, then secondaries in sequence). The contract that
+    makes the portfolio safe to wire under existing call sites:
+
+    - the answer is {e always} the one the primary solver alone would
+      produce: the primary is stepped with {!Lr_sat.Sat.solve_limited}'s
+      exact-resumption budgets, so when it answers, verdict and model are
+      byte-identical to a single unbounded [solve]; a secondary can only
+      short-circuit with [Unsat] (which carries no model and, by
+      soundness, is the verdict the primary would eventually reach) — a
+      secondary [Sat] is never surfaced, it merely stops that racer;
+    - the outcome is a pure function of the per-config solver
+      trajectories: racing on a {!Lr_par} pool only changes wall-clock,
+      never the result, so [--jobs N] stays bit-identical to [--jobs 1];
+    - secondaries engage only after the primary has burned [first_budget]
+      conflicts on the query, so cheap queries never pay for the race.
+
+    The determinism leg in [test/test_kernel.ml] checks verdicts {e and}
+    counterexamples against a lone single-config solver across seeds and
+    pool sizes. *)
+
+type racer = { solver : Lr_sat.Sat.t; assumptions : int list }
+
+val secondary_configs : Lr_sat.Sat.config array
+(** The diversified configurations raced alongside the primary (faster
+    decay + aggressive restarts + positive phase; slow decay + lazy
+    restarts). *)
+
+val race :
+  ?pool:Lr_par.Par.pool ->
+  ?first_budget:int ->
+  ?round_budget:int ->
+  primary:racer ->
+  secondaries:(unit -> racer) list ->
+  unit ->
+  Lr_sat.Sat.result
+(** Decide the primary's query. [secondaries] are built lazily, only if
+    the primary exhausts [first_budget] (default 10_000 conflicts); each
+    subsequent round steps every live racer by [round_budget] (default
+    2_000) — concurrently when a multi-domain [pool] is given. On [Sat],
+    read the model from [primary.solver]. *)

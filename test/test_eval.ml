@@ -69,15 +69,15 @@ let test_all_outputs_must_match () =
   Alcotest.(check (float 0.0)) "never all-match" 0.0 acc;
   let rng = Rng.create 6 in
   let patterns = Eval.mixture ~rng ~num_inputs:2 ~count:1000 in
-  let per = Eval.per_output_accuracy ~patterns ~golden ~candidate in
+  let per = Eval.per_output_accuracy ~patterns ~golden ~candidate () in
   Alcotest.(check (float 0.0)) "output 0 perfect" 1.0 per.(0);
   Alcotest.(check (float 0.0)) "output 1 always wrong" 0.0 per.(1)
 
 let test_same_patterns_same_score () =
   let rng = Rng.create 9 in
   let patterns = Eval.mixture ~rng ~num_inputs:2 ~count:500 in
-  let a1 = Eval.accuracy_on ~patterns ~golden:(and_circuit ()) ~candidate:(or_circuit ()) in
-  let a2 = Eval.accuracy_on ~patterns ~golden:(and_circuit ()) ~candidate:(or_circuit ()) in
+  let a1 = Eval.accuracy_on ~patterns ~golden:(and_circuit ()) ~candidate:(or_circuit ()) () in
+  let a2 = Eval.accuracy_on ~patterns ~golden:(and_circuit ()) ~candidate:(or_circuit ()) () in
   Alcotest.(check (float 0.0)) "deterministic" a1 a2
 
 let tests =

@@ -1,0 +1,302 @@
+(* The hot-path engine's own contracts: the topological batching that
+   the SoA scheduler promises, dirty-cone minimality (the incremental
+   engine recomputes exactly the true fanout cone, node for node), the
+   SAT portfolio's determinism (verdicts and models identical to a lone
+   single-config solver, at any pool size), and the end-to-end
+   bit-identity leg: a kernel-enabled learn equals the legacy path at
+   jobs=1 and jobs=4, down to the query attribution. *)
+
+module Rng = Lr_bitvec.Rng
+module N = Lr_netlist.Netlist
+module Io = Lr_netlist.Io
+module Analysis = Lr_netlist.Analysis
+module Aig = Lr_aig.Aig
+module Ksim = Lr_aig.Ksim
+module Sat = Lr_sat.Sat
+module Par = Lr_par.Par
+module Instr = Lr_instr.Instr
+module Soa = Lr_kernel.Soa
+module Incr = Lr_kernel.Incremental
+module Portfolio = Lr_kernel.Portfolio
+module Cases = Lr_cases.Cases
+module Config = Logic_regression.Config
+module Learner = Logic_regression.Learner
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* random circuits come from the shared recipe generator in [Prop] so a
+   failure here shrinks the same way the differential properties do *)
+let random_recipe rng size = Prop.(arb_recipe.gen) rng size
+
+(* ---------------- topological batching ---------------- *)
+
+let test_batching () =
+  let rng = Rng.create 101 in
+  for size = 1 to 20 do
+    let c = Prop.build_netlist (random_recipe rng size) in
+    let s = Soa.of_netlist c in
+    let n = Soa.num_nodes s in
+    let sched = Soa.schedule s in
+    check_int "schedule covers every node" n (Array.length sched);
+    let seen = Array.make n false in
+    Array.iter
+      (fun k ->
+        check "schedule has no duplicates" false seen.(k);
+        seen.(k) <- true)
+      sched;
+    let offs = Soa.level_offsets s in
+    check_int "one offset per level boundary"
+      (Soa.num_levels s + 1)
+      (Array.length offs);
+    check_int "first offset" 0 offs.(0);
+    check_int "last offset" n offs.(Soa.num_levels s);
+    (* recover each node's level from its batch, then demand that every
+       read fanin lives in a strictly earlier batch *)
+    let level = Array.make n 0 in
+    for l = 0 to Soa.num_levels s - 1 do
+      check "offsets nondecreasing" true (offs.(l) <= offs.(l + 1));
+      for i = offs.(l) to offs.(l + 1) - 1 do
+        level.(sched.(i)) <- l
+      done
+    done;
+    for k = 0 to n - 1 do
+      if Soa.depends_on_arg0 s k then
+        check "arg0 scheduled strictly earlier" true
+          (level.(Soa.arg0 s k) < level.(k));
+      if Soa.depends_on_arg1 s k then
+        check "arg1 scheduled strictly earlier" true
+          (level.(Soa.arg1 s k) < level.(k))
+    done
+  done
+
+(* ---------------- dirty-cone minimality ---------------- *)
+
+let test_cone_minimality () =
+  let rng = Rng.create 103 in
+  for size = 1 to 15 do
+    let c = Prop.build_netlist (random_recipe rng size) in
+    let s = Soa.of_netlist c in
+    let n = N.num_nodes c in
+    let ni = N.num_inputs c in
+    (* node-for-node agreement with the netlist-layer reference *)
+    for _ = 1 to 5 do
+      let seed = Rng.int rng n in
+      Alcotest.(check (array bool))
+        "fanout cone == Analysis.fanout_cone"
+        (Analysis.fanout_cone c [ seed ])
+        (Soa.fanout_cone s [ seed ])
+    done;
+    let nodes_of cone skip =
+      List.filter (fun k -> cone.(k) && k <> skip) (List.init n Fun.id)
+    in
+    (* an input perturbation recomputes exactly the cone of the nodes
+       reading that input — never one node more *)
+    let e = Incr.create s in
+    Incr.load e (Array.init ni (fun _ -> Rng.bits64 rng));
+    let i = Rng.int rng ni in
+    Incr.set_input e i (Rng.bits64 rng);
+    let readers =
+      List.filter
+        (fun k -> match N.gate c k with N.Input j -> j = i | _ -> false)
+        (List.init n Fun.id)
+    in
+    Alcotest.(check (list int))
+      "set_input resimulates the true input cone"
+      (nodes_of (Analysis.fanout_cone c readers) (-1))
+      (List.sort compare (Incr.last_resim e));
+    (* a hypothetical probe recomputes the node's cone, the pinned node
+       itself excluded *)
+    let z = Rng.int rng n in
+    Incr.with_forced e ~node:z 0x5DEECE66DL (fun e ->
+        Alcotest.(check (list int))
+          "with_forced resimulates the cone minus the pinned node"
+          (nodes_of (Analysis.fanout_cone c [ z ]) z)
+          (List.sort compare (Incr.last_resim e)))
+  done
+
+(* ---------------- SAT portfolio determinism ---------------- *)
+
+(* random 3-CNF near the sat/unsat threshold (ratio ~4.3) so both
+   verdicts appear across the rounds *)
+let random_cnf rng nvars nclauses =
+  List.init nclauses (fun _ ->
+      List.init 3 (fun _ ->
+          let v = 1 + Rng.int rng nvars in
+          if Rng.bool rng then v else -v))
+
+let test_portfolio_determinism () =
+  let rng = Rng.create 107 in
+  let sat_seen = ref false and unsat_seen = ref false in
+  (* count engagements so an accidentally-easy instance mix (where the
+     primary answers inside first_budget and no race ever runs) fails
+     loudly instead of vacuously passing *)
+  let races = ref 0 in
+  Instr.set_sinks
+    [
+      {
+        Instr.emit =
+          (fun e ->
+            match e with
+            | Instr.Count { name = "kernel.portfolio-races"; incr; _ } ->
+                races := !races + incr
+            | _ -> ());
+        flush = (fun () -> ());
+      };
+    ];
+  Fun.protect ~finally:(fun () -> Instr.set_sinks []) @@ fun () ->
+  for _ = 1 to 12 do
+    (* big enough that threshold instances outlast the primary's first
+       restart window, so the race genuinely runs its rounds *)
+    let nvars = 60 + Rng.int rng 60 in
+    let nclauses = int_of_float (4.3 *. float_of_int nvars) in
+    let cnf = random_cnf rng nvars nclauses in
+    let fresh config =
+      let s = match config with
+        | None -> Sat.create ()
+        | Some config -> Sat.create ~config ()
+      in
+      for _ = 1 to nvars do ignore (Sat.new_var s) done;
+      List.iter (Sat.add_clause s) cnf;
+      s
+    in
+    let lone = fresh None in
+    let verdict_lone = Sat.solve lone in
+    let model solver = List.init nvars (fun v -> Sat.value solver (v + 1)) in
+    let model_lone =
+      match verdict_lone with Sat.Sat -> model lone | Sat.Unsat -> []
+    in
+    (match verdict_lone with
+    | Sat.Sat -> sat_seen := true
+    | Sat.Unsat -> unsat_seen := true);
+    let race_with pool =
+      let primary = fresh None in
+      let secondaries =
+        Array.to_list
+          (Array.map
+             (fun config () ->
+               { Portfolio.solver = fresh (Some config); assumptions = [] })
+             Portfolio.secondary_configs)
+      in
+      (* a 1-conflict first budget engages the race on everything the
+         primary cannot decide by propagation alone; tiny rounds
+         maximise the interleaving the resolution must hide *)
+      let verdict =
+        Portfolio.race ?pool ~first_budget:1 ~round_budget:16
+          ~primary:{ Portfolio.solver = primary; assumptions = [] }
+          ~secondaries ()
+      in
+      match verdict with
+      | Sat.Sat -> (verdict, model primary)
+      | Sat.Unsat -> (verdict, [])
+    in
+    let v1, m1 = race_with None in
+    let v4, m4 = Par.with_pool ~jobs:4 (fun p -> race_with (Some p)) in
+    check "portfolio verdict == lone solver" true (v1 = verdict_lone);
+    Alcotest.(check (list bool)) "portfolio model == lone model" model_lone m1;
+    check "pool=4 verdict identical" true (v4 = verdict_lone);
+    Alcotest.(check (list bool)) "pool=4 model identical" model_lone m4
+  done;
+  check "threshold mix produced a Sat instance" true !sat_seen;
+  check "threshold mix produced an Unsat instance" true !unsat_seen;
+  check "the portfolio actually raced" true (!races > 0)
+
+(* assumption-scoped races: the fraig call sites always race under an
+   activation literal, so verdicts under assumptions must replay too *)
+let test_portfolio_assumptions () =
+  let rng = Rng.create 109 in
+  for _ = 1 to 6 do
+    let nvars = 12 + Rng.int rng 20 in
+    let cnf = random_cnf rng nvars (4 * nvars) in
+    let activation = nvars + 1 in
+    let fresh config =
+      let s = match config with
+        | None -> Sat.create ()
+        | Some config -> Sat.create ~config ()
+      in
+      for _ = 1 to nvars + 1 do ignore (Sat.new_var s) done;
+      (* guard every clause behind the activation literal *)
+      List.iter (fun cl -> Sat.add_clause s (-activation :: cl)) cnf;
+      s
+    in
+    let lone = fresh None in
+    let verdict_lone = Sat.solve ~assumptions:[ activation ] lone in
+    let primary = fresh None in
+    let secondaries =
+      Array.to_list
+        (Array.map
+           (fun config () ->
+             {
+               Portfolio.solver = fresh (Some config);
+               assumptions = [ activation ];
+             })
+           Portfolio.secondary_configs)
+    in
+    let verdict =
+      Portfolio.race ~first_budget:1 ~round_budget:16
+        ~primary:{ Portfolio.solver = primary; assumptions = [ activation ] }
+        ~secondaries ()
+    in
+    check "assumption race verdict == lone solver" true
+      (verdict = verdict_lone);
+    if verdict_lone = Sat.Sat then
+      Alcotest.(check (list bool))
+        "assumption race model == lone model"
+        (List.init nvars (fun v -> Sat.value lone (v + 1)))
+        (List.init nvars (fun v -> Sat.value primary (v + 1)))
+  done
+
+(* ---------------- end-to-end bit-identity ---------------- *)
+
+let fast =
+  {
+    Config.default with
+    Config.support_rounds = 192;
+    node_rounds = 32;
+    max_tree_nodes = 512;
+    optimize_rounds = 1;
+    fraig_words = 4;
+    template_samples = 32;
+    (* the full sweep plus full self-checks routes every kernel client —
+       fraig, equiv, selfcheck, dirty-cone ODC — into the comparison *)
+    sweep = Config.Sweep_full;
+    check_level = Config.Full;
+  }
+
+let learn ~kernel ~jobs =
+  let spec = Cases.find "case_7" in
+  let box = Cases.blackbox ~budget:150_000 spec in
+  let report =
+    Learner.learn ~config:{ fast with Config.seed = 5; jobs; kernel } box
+  in
+  ( Io.write report.Learner.circuit,
+    report.Learner.queries,
+    report.Learner.phase_queries,
+    report.Learner.checks_verified,
+    report.Learner.sweep_removed )
+
+let test_bit_identity () =
+  let net0, q0, pq0, cv0, sr0 = learn ~kernel:false ~jobs:1 in
+  List.iter
+    (fun (kernel, jobs) ->
+      let ctx = Printf.sprintf "kernel=%b jobs=%d" kernel jobs in
+      let net, q, pq, cv, sr = learn ~kernel ~jobs in
+      Alcotest.(check string) (ctx ^ ": bit-identical netlist") net0 net;
+      check_int (ctx ^ ": equal queries") q0 q;
+      Alcotest.(check (list (pair string int)))
+        (ctx ^ ": equal phase queries") pq0 pq;
+      check_int (ctx ^ ": equal checks verified") cv0 cv;
+      check_int (ctx ^ ": equal sweep removals") sr0 sr)
+    [ (false, 4); (true, 1); (true, 4) ]
+
+let tests =
+  [
+    Alcotest.test_case "topological batching" `Quick test_batching;
+    Alcotest.test_case "dirty-cone minimality" `Quick test_cone_minimality;
+    Alcotest.test_case "portfolio determinism" `Quick
+      test_portfolio_determinism;
+    Alcotest.test_case "portfolio determinism under assumptions" `Quick
+      test_portfolio_assumptions;
+    Alcotest.test_case "kernel/jobs bit-identity on a real case" `Quick
+      test_bit_identity;
+  ]

@@ -376,6 +376,117 @@ not json at all"));
   | Ok _ -> Alcotest.fail "missing file accepted"
   | Error _ -> ()
 
+(* --- fraig round invariants from a captured run --- *)
+
+(* an AIG with deliberate functional redundancy (the same functions
+   built through different structure) plus enough free logic that
+   one-word signatures leave spurious classes for SAT to refute *)
+let redundant_aig () =
+  let aig = Lr_aig.Aig.create ~num_inputs:6 ~num_outputs:4 in
+  let module A = Lr_aig.Aig in
+  let x i = A.input_lit aig i in
+  (* distributivity pairs: equivalent functions whose AND structures
+     differ, so construction-time hash-consing cannot merge them and
+     the equivalence survives for fraig's SAT pass to prove *)
+  let f1 =
+    A.or_lit aig (A.and_lit aig (x 0) (x 1)) (A.and_lit aig (x 0) (x 2))
+  in
+  let f2 = A.and_lit aig (x 0) (A.or_lit aig (x 1) (x 2)) in
+  (* xor through its two classic decompositions *)
+  let g1 =
+    A.or_lit aig
+      (A.and_lit aig (x 3) (A.not_lit (x 4)))
+      (A.and_lit aig (A.not_lit (x 3)) (x 4))
+  in
+  let g2 =
+    A.and_lit aig
+      (A.or_lit aig (x 3) (x 4))
+      (A.not_lit (A.and_lit aig (x 3) (x 4)))
+  in
+  A.set_output aig 0 (A.and_lit aig f1 (x 5));
+  A.set_output aig 1 (A.and_lit aig f2 (x 5));
+  A.set_output aig 2 (A.or_lit aig g1 (x 5));
+  A.set_output aig 3 (A.or_lit aig g2 (A.not_lit (x 5)));
+  aig
+
+(* capture the instrumentation stream of a real fraig sweep — the same
+   stream the run report and the metrics exposition aggregate — and
+   return the per-round counter series *)
+let capture_fraig ~kernel () =
+  Instr.reset_aggregates ();
+  let events = ref [] in
+  Instr.set_sinks
+    [
+      { emit = (fun e -> events := e :: !events); flush = (fun () -> ()) };
+    ];
+  Fun.protect ~finally:(fun () -> Instr.set_sinks []) @@ fun () ->
+  let swept =
+    Lr_aig.Fraig.sweep ~words:1 ~kernel ~rng:(Rng.create 11) (redundant_aig ())
+  in
+  let series name =
+    List.rev
+      (List.filter_map
+         (function
+           | Instr.Count { name = n; incr; _ } when n = name -> Some incr
+           | _ -> None)
+         !events)
+  in
+  (Lr_aig.Aig.num_ands swept, series)
+
+let test_fraig_round_invariants () =
+  with_clean @@ fun () ->
+  let ands, series = capture_fraig ~kernel:true () in
+  let sim = series "fraig.sim-words" in
+  let classes = series "fraig.classes" in
+  let proved = series "fraig.proved" in
+  let refuted = series "fraig.refuted" in
+  check "sweep ran at least one round" true (List.length classes >= 1);
+  (* one sim increment per round, and the cumulative series is strictly
+     monotone: every round simulates a positive number of words *)
+  check_int "one sim batch per round" (List.length classes) (List.length sim);
+  List.iter (fun d -> check "sim work positive each round" true (d > 0)) sim;
+  (* sim grows round over round: counterexample blocks only accumulate *)
+  ignore
+    (List.fold_left
+       (fun prev d ->
+         check "sim batch never shrinks" true (d >= prev);
+         d)
+       0 sim);
+  (* every round decides at most its candidate classes *)
+  check_int "one proved entry per round" (List.length classes)
+    (List.length proved);
+  check_int "one refuted entry per round" (List.length classes)
+    (List.length refuted);
+  List.iteri
+    (fun i c ->
+      let p = List.nth proved i and r = List.nth refuted i in
+      check "proved >= 0" true (p >= 0);
+      check "refuted >= 0" true (r >= 0);
+      check
+        (Printf.sprintf "round %d: proved+refuted <= classes" i)
+        true
+        (p + r <= c))
+    classes;
+  (* the pass did real work on this circuit *)
+  check "something was proved" true (List.exists (fun p -> p > 0) proved);
+  (* counter parity: the kernel path must tick the exact same fraig
+     counters as the legacy evaluator, round for round *)
+  let ands_off, series_off = capture_fraig ~kernel:false () in
+  check_int "kernel on/off same result size" ands_off ands;
+  List.iter
+    (fun name ->
+      Alcotest.(check (list int))
+        ("kernel on/off same " ^ name ^ " series")
+        (series_off name) (series name))
+    [
+      "fraig.sim-words";
+      "fraig.classes";
+      "fraig.proved";
+      "fraig.refuted";
+      "fraig.sat-calls";
+      "fraig.rounds";
+    ]
+
 (* --- self-time regression gate --- *)
 
 let test_regression_gate () =
@@ -427,4 +538,6 @@ let tests =
       test_loader_garbage;
     Alcotest.test_case "self-time regression gate" `Quick
       test_regression_gate;
+    Alcotest.test_case "fraig round invariants from a captured run" `Quick
+      test_fraig_round_invariants;
   ]
