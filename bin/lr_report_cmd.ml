@@ -203,6 +203,16 @@ let check_run old_path new_path case method_ max_gate min_acc max_time
            record a fault-free baseline before gating"
           path d)
     [ (old_path, old_report); (new_path, new_report) ];
+  (* and warm-cache lr_serve reports: their elapsed time measures a
+     cache lookup, not a learn *)
+  List.iter
+    (fun (path, report) ->
+      if Compare.cache_hit_of_report report then
+        die
+          "%s was served from the lr_serve circuit cache — gate against a \
+           cold-cache (cache_hit=false) report"
+          path)
+    [ (old_path, old_report); (new_path, new_report) ];
   let deltas, only_old, only_new =
     Compare.join (entries ?case ?method_ old_path) (entries ?case ?method_ new_path)
   in

@@ -83,10 +83,19 @@ let cut_truth aig cut root =
 
 (* ---------- ISOP resynthesis with global memoisation ---------- *)
 
+(* The memo table is process-global: (k, tt) -> cover is a pure
+   function, so sharing across runs is free wins. It must be
+   mutex-guarded — the lr_serve daemon runs whole learn jobs on
+   concurrent domains, and an unguarded Hashtbl.replace race corrupts
+   the table. The lock is cheap next to the BDD work it guards. *)
 let isop_cache : (int * int, Cover.t) Hashtbl.t = Hashtbl.create 1024
+let isop_mu = Mutex.create ()
 
 let isop_of_tt ~k tt =
-  match Hashtbl.find_opt isop_cache (k, tt) with
+  Mutex.lock isop_mu;
+  let hit = Hashtbl.find_opt isop_cache (k, tt) in
+  Mutex.unlock isop_mu;
+  match hit with
   | Some c -> c
   | None ->
       let man = Lr_bdd.Bdd.man ~nvars:k in
@@ -95,7 +104,9 @@ let isop_of_tt ~k tt =
             (tt lsr m) land 1 = 1)
       in
       let cover = Lr_bdd.Bdd.isop man f in
+      Mutex.lock isop_mu;
       Hashtbl.replace isop_cache (k, tt) cover;
+      Mutex.unlock isop_mu;
       cover
 
 (* candidate implementations as small ASTs over output-graph literals *)

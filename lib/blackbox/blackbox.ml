@@ -255,6 +255,15 @@ let query t a =
       Histogram.add t.latency (Instr.now () -. t0);
       r
 
+(* Fingerprint probes for the service cache: evaluate the provider
+   directly, with none of the query machinery — no budget, no counters,
+   no span attribution, no latency samples, no fault injection. The
+   zero-leakage contract is what keeps a cache-missed service learn
+   bit-identical to a direct [Learner.learn] of the same box. *)
+let probe_many t patterns =
+  Array.iter (check_width t) patterns;
+  run_provider t patterns
+
 let queries_used t = t.used
 let budget t = t.budget
 let query_latency t = t.latency

@@ -59,6 +59,17 @@ val query_many : t -> Lr_bitvec.Bv.t array -> Lr_bitvec.Bv.t array
     nothing is counted, attributed or timed. On a faulty box, raises
     {!Lr_faults.Faults.Query_failed} once the retry policy is spent. *)
 
+val probe_many : t -> Lr_bitvec.Bv.t array -> Lr_bitvec.Bv.t array
+(** Behavioural-fingerprint probes ([Lr_serve.Fingerprint]): evaluate
+    the underlying provider directly, bypassing {e all} query machinery
+    — nothing is counted, attributed, timed, budgeted or
+    fault-injected. Probing leaves {!queries_used},
+    {!queries_by_span}, {!query_latency} and {!exhausted} exactly as
+    they were, so a service learn that fingerprinted its box first is
+    bit-identical to a direct {!query}-only run. Not for learners:
+    circumventing the budget in learning code would break the contest
+    accounting contract. *)
+
 (** {1 Fault injection and retries}
 
     The chaos-testing hooks: a seeded {!Lr_faults.Faults.spec} makes the

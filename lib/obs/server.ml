@@ -5,36 +5,6 @@ let with_lock mu f =
   Mutex.lock mu;
   Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
 
-(* Bounded line ring with absolute sequence numbers, so a streaming
-   client can resume from "everything after seq N" even when the ring
-   has dropped its oldest lines in between. *)
-type ring = {
-  items : string Queue.t;  (** oldest first; seqs [base_seq, next_seq) *)
-  cap : int;
-  mutable base_seq : int;
-  mutable next_seq : int;
-}
-
-let ring_create cap = { items = Queue.create (); cap; base_seq = 0; next_seq = 0 }
-
-let ring_push r line =
-  Queue.push line r.items;
-  r.next_seq <- r.next_seq + 1;
-  if Queue.length r.items > r.cap then begin
-    ignore (Queue.pop r.items);
-    r.base_seq <- r.base_seq + 1
-  end
-
-let ring_since r since =
-  let lines = ref [] in
-  let seq = ref r.base_seq in
-  Queue.iter
-    (fun line ->
-      if !seq >= since then lines := line :: !lines;
-      incr seq)
-    r.items;
-  List.rev !lines
-
 type health = {
   mutable phase : string;
   mutable outputs_total : int option;
@@ -50,7 +20,7 @@ type health = {
 type state = {
   mu : Mutex.t;
   mutable metrics_text : string;
-  progress : ring;
+  progress : Http.ring;
   logs : (int * string) Queue.t;  (** (severity, lr-log/v1 line) *)
   log_cap : int;
   health : health;
@@ -64,7 +34,7 @@ let create_state ?(progress_cap = 4096) ?(log_cap = 1024) ?query_budget
   {
     mu = Mutex.create ();
     metrics_text = "";
-    progress = ring_create (max 1 progress_cap);
+    progress = Http.ring_create progress_cap;
     logs = Queue.create ();
     log_cap = max 1 log_cap;
     health =
@@ -142,7 +112,7 @@ let progress_out state chunk =
   with_lock state.mu (fun () ->
       List.iter
         (fun line ->
-          if line <> "" then ring_push state.progress (line ^ "\n"))
+          if line <> "" then Http.ring_push state.progress (line ^ "\n"))
         lines)
 
 let log_sink state =
@@ -176,7 +146,9 @@ let metrics_text state =
 
 let progress_since state since =
   with_lock state.mu (fun () ->
-      (ring_since state.progress since, state.progress.next_seq, state.done_))
+      ( Http.ring_since state.progress since,
+        Http.ring_next_seq state.progress,
+        state.done_ ))
 
 let logs_at_least state min_sev =
   with_lock state.mu (fun () ->
@@ -218,264 +190,98 @@ let healthz_json state =
           ("retries", Json.Int h.retries);
         ])
 
-(* {1 HTTP plumbing} *)
+(* {1 The serving front}
 
-let rec write_all fd s off len =
-  if len > 0 then begin
-    let n =
-      try Unix.write_substring fd s off len
-      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
-    in
-    write_all fd s (off + n) (len - n)
-  end
-
-let send fd s = write_all fd s 0 (String.length s)
-
-let respond fd ~status ~ctype body =
-  send fd
-    (Printf.sprintf
-       "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
-        close\r\n\r\n"
-       status ctype (String.length body));
-  send fd body
-
-let send_chunk fd s =
-  if s <> "" then send fd (Printf.sprintf "%x\r\n%s\r\n" (String.length s) s)
-
-let send_last_chunk fd = send fd "0\r\n\r\n"
-
-(* Read the request head (up to the blank line); 8 KiB cap, 2 s socket
-   timeout. Returns (method, path-with-query). *)
-let read_request fd =
-  let buf = Buffer.create 256 in
-  let chunk = Bytes.create 1024 in
-  let rec loop () =
-    if Buffer.length buf > 8192 then None
-    else
-      let n = try Unix.read fd chunk 0 (Bytes.length chunk) with _ -> 0 in
-      if n = 0 then None
-      else begin
-        Buffer.add_subbytes buf chunk 0 n;
-        let s = Buffer.contents buf in
-        match
-          let i = ref (-1) in
-          (try
-             for j = 0 to String.length s - 4 do
-               if !i < 0 && String.sub s j 4 = "\r\n\r\n" then i := j
-             done
-           with _ -> ());
-          !i
-        with
-        | -1 -> loop ()
-        | _ -> Some s
-      end
-  in
-  match loop () with
-  | None -> None
-  | Some head -> (
-      match String.index_opt head '\r' with
-      | None -> None
-      | Some eol -> (
-          let line = String.sub head 0 eol in
-          match String.split_on_char ' ' line with
-          | meth :: target :: _ -> Some (meth, target)
-          | _ -> None))
-
-let split_target target =
-  match String.index_opt target '?' with
-  | None -> (target, [])
-  | Some i ->
-      let path = String.sub target 0 i in
-      let query = String.sub target (i + 1) (String.length target - i - 1) in
-      let params =
-        String.split_on_char '&' query
-        |> List.filter_map (fun kv ->
-               match String.index_opt kv '=' with
-               | None -> if kv = "" then None else Some (kv, "")
-               | Some j ->
-                   Some
-                     ( String.sub kv 0 j,
-                       String.sub kv (j + 1) (String.length kv - j - 1) ))
-      in
-      (path, params)
-
-(* {1 The serving loop} *)
+   HTTP plumbing lives in {!Http}; this is just the route table plus
+   the retained-stream pump for [/progress]. [streams] is touched only
+   by the handler and the tick, both of which run on the Http loop's
+   domain — no lock needed. *)
 
 type conn = { fd : Unix.file_descr; mutable next_seq : int }
+type t = Http.t
 
-type t = {
-  listen_fd : Unix.file_descr;
-  stop_r : Unix.file_descr;
-  stop_w : Unix.file_descr;
-  bound_port : int;
-  dom : unit Domain.t;
-  stop_mu : Mutex.t;
-  mutable stopped : bool;
-}
-
-let close_quiet fd = try Unix.close fd with _ -> ()
-
-(* Handle one request; returns [Some conn] when the connection stays
-   open as a /progress stream. *)
-let handle state fd =
-  match read_request fd with
-  | None ->
-      close_quiet fd;
-      None
-  | Some (meth, target) -> (
-      let path, params = split_target target in
-      let finish () =
-        close_quiet fd;
-        None
-      in
-      try
-        if meth <> "GET" then begin
-          respond fd ~status:"405 Method Not Allowed" ~ctype:"text/plain"
-            "only GET is supported\n";
+let handle state streams fd (req : Http.request) =
+  let finish () = Http.close_quiet fd in
+  try
+    if req.Http.meth <> "GET" then begin
+      Http.respond fd ~status:"405 Method Not Allowed" ~ctype:"text/plain"
+        "only GET is supported\n";
+      finish ()
+    end
+    else
+      match req.Http.path with
+      | "/metrics" ->
+          Http.respond fd ~status:"200 OK"
+            ~ctype:"text/plain; version=0.0.4; charset=utf-8"
+            (metrics_text state);
           finish ()
-        end
-        else
-          match path with
-          | "/metrics" ->
-              respond fd ~status:"200 OK"
-                ~ctype:"text/plain; version=0.0.4; charset=utf-8"
-                (metrics_text state);
+      | "/healthz" ->
+          Http.respond fd ~status:"200 OK" ~ctype:"application/json"
+            (Json.to_string (healthz_json state) ^ "\n");
+          finish ()
+      | "/logs" -> (
+          let level =
+            try List.assoc "level" req.Http.params with Not_found -> "debug"
+          in
+          match Log.level_of_string level with
+          | Error e ->
+              Http.respond fd ~status:"400 Bad Request" ~ctype:"text/plain"
+                (e ^ "\n");
               finish ()
-          | "/healthz" ->
-              respond fd ~status:"200 OK" ~ctype:"application/json"
-                (Json.to_string (healthz_json state) ^ "\n");
-              finish ()
-          | "/logs" -> (
-              let level = try List.assoc "level" params with Not_found -> "debug" in
-              match Log.level_of_string level with
-              | Error e ->
-                  respond fd ~status:"400 Bad Request" ~ctype:"text/plain"
-                    (e ^ "\n");
-                  finish ()
-              | Ok l ->
-                  let sev =
-                    match l with
-                    | Log.Debug -> 0
-                    | Log.Info -> 1
-                    | Log.Warn -> 2
-                    | Log.Error -> 3
-                  in
-                  respond fd ~status:"200 OK" ~ctype:"application/x-ndjson"
-                    (String.concat "" (logs_at_least state sev));
-                  finish ())
-          | "/progress" ->
-              send fd
-                "HTTP/1.1 200 OK\r\nContent-Type: \
-                 application/x-ndjson\r\nTransfer-Encoding: \
-                 chunked\r\nConnection: close\r\n\r\n";
-              let lines, next, done_ = progress_since state 0 in
-              send_chunk fd (String.concat "" lines);
-              if done_ then begin
-                send_last_chunk fd;
-                finish ()
-              end
-              else Some { fd; next_seq = next }
-          | _ ->
-              respond fd ~status:"404 Not Found" ~ctype:"text/plain"
-                "unknown endpoint (try /metrics /progress /healthz /logs)\n";
-              finish ()
-      with _ -> finish ())
+          | Ok l ->
+              let sev =
+                match l with
+                | Log.Debug -> 0
+                | Log.Info -> 1
+                | Log.Warn -> 2
+                | Log.Error -> 3
+              in
+              Http.respond fd ~status:"200 OK" ~ctype:"application/x-ndjson"
+                (String.concat "" (logs_at_least state sev));
+              finish ())
+      | "/progress" ->
+          Http.start_chunked fd ~ctype:"application/x-ndjson";
+          let lines, next, done_ = progress_since state 0 in
+          Http.send_chunk fd (String.concat "" lines);
+          if done_ then begin
+            Http.send_last_chunk fd;
+            finish ()
+          end
+          else streams := { fd; next_seq = next } :: !streams
+      | _ ->
+          Http.respond fd ~status:"404 Not Found" ~ctype:"text/plain"
+            "unknown endpoint (try /metrics /progress /healthz /logs)\n";
+          finish ()
+  with _ -> finish ()
 
 (* Push new progress lines to the streaming connections; drop the dead
    ones and complete everything once the run is marked done. *)
 let pump state streams =
-  List.filter
-    (fun c ->
-      let lines, next, done_ = progress_since state c.next_seq in
-      try
-        if lines <> [] then send_chunk c.fd (String.concat "" lines);
-        c.next_seq <- next;
-        if done_ then begin
-          send_last_chunk c.fd;
-          close_quiet c.fd;
-          false
-        end
-        else true
-      with _ ->
-        close_quiet c.fd;
-        false)
-    streams
-
-let serve listen_fd stop_r state =
-  let streams = ref [] in
-  let running = ref true in
-  while !running do
-    let rs, _, _ =
-      try Unix.select [ listen_fd; stop_r ] [] [] 0.05
-      with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
-    in
-    if List.mem stop_r rs then running := false
-    else begin
-      if List.mem listen_fd rs then begin
-        match (try Some (Unix.accept ~cloexec:true listen_fd) with _ -> None)
-        with
-        | None -> ()
-        | Some (fd, _) -> (
-            (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 2.0 with _ -> ());
-            match handle state fd with
-            | None -> ()
-            | Some conn -> streams := conn :: !streams)
-      end;
-      streams := pump state !streams
-    end
-  done;
-  List.iter (fun c -> close_quiet c.fd) !streams
-
-let sigpipe_ignored = ref false
+  streams :=
+    List.filter
+      (fun c ->
+        let lines, next, done_ = progress_since state c.next_seq in
+        try
+          if lines <> [] then Http.send_chunk c.fd (String.concat "" lines);
+          c.next_seq <- next;
+          if done_ then begin
+            Http.send_last_chunk c.fd;
+            Http.close_quiet c.fd;
+            false
+          end
+          else true
+        with _ ->
+          Http.close_quiet c.fd;
+          false)
+      !streams
 
 let start ?(addr = "127.0.0.1") ~port state =
-  if not !sigpipe_ignored then begin
-    sigpipe_ignored := true;
-    try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
-    with Invalid_argument _ -> ()
-  end;
-  match Unix.inet_addr_of_string addr with
-  | exception Failure _ -> Error (Printf.sprintf "bad listen address %S" addr)
-  | inet -> (
-      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
-      try
-        Unix.setsockopt fd Unix.SO_REUSEADDR true;
-        Unix.bind fd (Unix.ADDR_INET (inet, port));
-        Unix.listen fd 16;
-        let bound_port =
-          match Unix.getsockname fd with
-          | Unix.ADDR_INET (_, p) -> p
-          | _ -> port
-        in
-        let stop_r, stop_w = Unix.pipe ~cloexec:true () in
-        let dom = Domain.spawn (fun () -> serve fd stop_r state) in
-        Ok
-          {
-            listen_fd = fd;
-            stop_r;
-            stop_w;
-            bound_port;
-            dom;
-            stop_mu = Mutex.create ();
-            stopped = false;
-          }
-      with Unix.Unix_error (e, fn, _) ->
-        close_quiet fd;
-        Error (Printf.sprintf "%s: %s" fn (Unix.error_message e)))
+  let streams = ref [] in
+  Http.start ~addr ~port
+    ~handle:(fun fd req -> handle state streams fd req)
+    ~tick:(fun () -> pump state streams)
+    ~on_stop:(fun () -> List.iter (fun c -> Http.close_quiet c.fd) !streams)
+    ()
 
-let port t = t.bound_port
-
-let stop t =
-  let first =
-    with_lock t.stop_mu (fun () ->
-        if t.stopped then false
-        else begin
-          t.stopped <- true;
-          true
-        end)
-  in
-  if first then begin
-    (try ignore (Unix.write_substring t.stop_w "x" 0 1) with _ -> ());
-    Domain.join t.dom;
-    List.iter close_quiet [ t.listen_fd; t.stop_r; t.stop_w ]
-  end
+let port = Http.port
+let stop = Http.stop

@@ -81,6 +81,12 @@ let degraded_of_report v =
   | Some d -> d
   | None -> 0
 
+(* ... and never served from the lr_serve circuit cache *)
+let cache_hit_of_report v =
+  match Option.bind (Json.member "cache_hit" v) Json.get_bool with
+  | Some b -> b
+  | None -> false
+
 let split_key key =
   match String.index_opt key '/' with
   | Some i ->

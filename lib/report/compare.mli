@@ -30,6 +30,13 @@ val degraded_of_report : Lr_instr.Json.t -> int
     regression gate refuses runs with [degraded > 0] on either side:
     best-effort constants make size and accuracy incomparable. *)
 
+val cache_hit_of_report : Lr_instr.Json.t -> bool
+(** The [cache_hit] marker an [lr_serve] job report carries; [false]
+    when absent (direct CLI runs never hit the circuit cache). The
+    regression gate refuses warm-cache reports: their timing describes
+    a cache lookup, not a learn, so any wall-clock comparison against
+    them would be vacuous. *)
+
 val filter : ?case:string -> ?method_:string -> entry list -> entry list
 (** [case] matches the part before ['/'], [method_] the part after
     (entries without a method — run reports — survive only when no

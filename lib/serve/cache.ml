@@ -1,0 +1,164 @@
+module Json = Lr_instr.Json
+module N = Lr_netlist.Netlist
+module Io = Lr_netlist.Io
+
+type entry = { circuit_text : string; report : Json.t }
+
+type stats = {
+  entries : int;
+  hits : int;
+  misses : int;
+  refused : int;
+  inserts : int;
+}
+
+type t = {
+  mu : Mutex.t;
+  store : (string, entry) Hashtbl.t;
+  dir : string option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable refused : int;
+  mutable inserts : int;
+}
+
+let key ~fingerprint ~names_sig ~config_sig =
+  let combined =
+    Printf.sprintf "%s|%s|%s" (Fingerprint.to_hex fingerprint) names_sig
+      config_sig
+  in
+  Printf.sprintf "%016Lx" (Fingerprint.hash64 combined)
+
+let is_key s =
+  String.length s = 16
+  && String.for_all
+       (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false)
+       s
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path data =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc data);
+  Sys.rename tmp path
+
+let load_dir store dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> ()
+  | names ->
+      Array.iter
+        (fun name ->
+          match Filename.chop_suffix_opt ~suffix:".lrc" name with
+          | Some k when is_key k -> (
+              try
+                let circuit_text = read_file (Filename.concat dir name) in
+                (* the netlist must at least parse, else skip the entry *)
+                ignore (Io.read circuit_text);
+                let report =
+                  match
+                    Json.of_string
+                      (read_file (Filename.concat dir (k ^ ".json")))
+                  with
+                  | Ok v -> v
+                  | Error _ | (exception Sys_error _) -> Json.Null
+                in
+                Hashtbl.replace store k { circuit_text; report }
+              with _ -> ())
+          | _ -> ())
+        names
+
+let create ?dir () =
+  let store = Hashtbl.create 64 in
+  (match dir with
+  | None -> ()
+  | Some d ->
+      (try if not (Sys.file_exists d) then Unix.mkdir d 0o755
+       with Unix.Unix_error _ -> ());
+      load_dir store d);
+  {
+    mu = Mutex.create ();
+    store;
+    dir;
+    hits = 0;
+    misses = 0;
+    refused = 0;
+    inserts = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let lookup t ~key ~verify =
+  match locked t (fun () -> Hashtbl.find_opt t.store key) with
+  | None ->
+      locked t (fun () -> t.misses <- t.misses + 1);
+      None
+  | Some entry ->
+      (* verify outside the lock: a CEC may be slow *)
+      let ok =
+        match Io.read entry.circuit_text with
+        | exception _ -> false
+        | circuit -> ( try verify circuit with _ -> false)
+      in
+      if ok then begin
+        locked t (fun () -> t.hits <- t.hits + 1);
+        Some entry
+      end
+      else begin
+        locked t (fun () ->
+            t.refused <- t.refused + 1;
+            t.misses <- t.misses + 1;
+            Hashtbl.remove t.store key);
+        (match t.dir with
+        | None -> ()
+        | Some d ->
+            List.iter
+              (fun suffix ->
+                try Sys.remove (Filename.concat d (key ^ suffix))
+                with Sys_error _ -> ())
+              [ ".lrc"; ".json" ]);
+        None
+      end
+
+let insert t ~key ~circuit ~report =
+  let circuit_text = Io.write circuit in
+  locked t (fun () ->
+      Hashtbl.replace t.store key { circuit_text; report };
+      t.inserts <- t.inserts + 1);
+  match t.dir with
+  | None -> ()
+  | Some d -> (
+      try
+        write_file (Filename.concat d (key ^ ".lrc")) circuit_text;
+        write_file (Filename.concat d (key ^ ".json")) (Json.to_string report)
+      with Sys_error _ | Unix.Unix_error _ -> ())
+
+let stats t =
+  locked t (fun () ->
+      {
+        entries = Hashtbl.length t.store;
+        hits = t.hits;
+        misses = t.misses;
+        refused = t.refused;
+        inserts = t.inserts;
+      })
+
+let stats_json t =
+  let s = stats t in
+  Json.Obj
+    [
+      ("schema", Json.String "lr-serve-cache/v1");
+      ("entries", Json.Int s.entries);
+      ("hits", Json.Int s.hits);
+      ("misses", Json.Int s.misses);
+      ("refused", Json.Int s.refused);
+      ("inserts", Json.Int s.inserts);
+    ]

@@ -1,0 +1,81 @@
+module Bv = Lr_bitvec.Bv
+module Rng = Lr_bitvec.Rng
+module Box = Lr_blackbox.Blackbox
+
+type t = {
+  n : int;
+  m : int;
+  words : int;
+  seed : int;
+  per_output : int64 array;
+  digest : int64;
+}
+
+(* FNV-1a, 64-bit *)
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fnv_byte h b =
+  Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) fnv_prime
+
+let hash64 s =
+  let h = ref fnv_offset in
+  String.iter (fun c -> h := fnv_byte !h (Char.code c)) s;
+  !h
+
+let fnv_int64 h x =
+  let h = ref h in
+  for i = 0 to 7 do
+    h := fnv_byte !h (Int64.to_int (Int64.shift_right_logical x (8 * i)))
+  done;
+  !h
+
+let fnv_int h x = fnv_int64 h (Int64.of_int x)
+
+let probe ?(seed = 0x51f0) ?(words = 4) box =
+  let n = Box.num_inputs box and m = Box.num_outputs box in
+  let words = max 1 words in
+  let rng = Rng.create (seed lxor 0x6c725f66 (* "lr_f" *)) in
+  let patterns = Array.init (64 * words) (fun _ -> Bv.random rng n) in
+  let answers = Box.probe_many box patterns in
+  let per_output =
+    Array.init m (fun o ->
+        let h = ref fnv_offset in
+        (* pack each output's response bits into bytes before hashing *)
+        let acc = ref 0 and nbits = ref 0 in
+        Array.iter
+          (fun out ->
+            acc := (!acc lsl 1) lor (if Bv.get out o then 1 else 0);
+            incr nbits;
+            if !nbits = 8 then begin
+              h := fnv_byte !h !acc;
+              acc := 0;
+              nbits := 0
+            end)
+          answers;
+        if !nbits > 0 then h := fnv_byte !h !acc;
+        !h)
+  in
+  let digest =
+    let h = fnv_int (fnv_int (fnv_int (fnv_int fnv_offset n) m) words) seed in
+    Array.fold_left fnv_int64 h per_output
+  in
+  { n; m; words; seed; per_output; digest }
+
+let equal a b =
+  a.n = b.n && a.m = b.m && a.words = b.words && a.seed = b.seed
+  && a.digest = b.digest
+  && a.per_output = b.per_output
+
+let to_hex t = Printf.sprintf "%016Lx" t.digest
+
+let names_signature box =
+  let h = ref fnv_offset in
+  let add s =
+    String.iter (fun c -> h := fnv_byte !h (Char.code c)) s;
+    h := fnv_byte !h 0
+  in
+  Array.iter add (Box.input_names box);
+  h := fnv_byte !h 1;
+  Array.iter add (Box.output_names box);
+  Printf.sprintf "%016Lx" !h

@@ -31,6 +31,9 @@ module Finding = Lr_check.Finding
 module Config = Logic_regression.Config
 module Learner = Logic_regression.Learner
 module Sweep = Lr_dataflow.Sweep
+module Equiv = Lr_aig.Equiv
+module Fp = Lr_serve.Fingerprint
+module Scache = Lr_serve.Cache
 module Soa = Lr_kernel.Soa
 module Incr = Lr_kernel.Incremental
 module Ksim = Lr_aig.Ksim
@@ -471,6 +474,56 @@ let prop_degraded_netlist_lints () =
       report.Learner.degraded = List.length report.Learner.outputs
       && Finding.errors (Lint.netlist report.Learner.circuit) = [])
 
+(* ---------------- the serving plane ---------------- *)
+
+let equivalent a b =
+  match Equiv.check a b with
+  | Equiv.Equivalent -> true
+  | Equiv.Counterexample _ -> false
+
+(* Insert a random circuit into the cache under its own behavioural key
+   and look it back up: the verified hit must decode to a CEC-equivalent
+   circuit (bit-identical, in fact — but equivalence is the safety
+   property a collision could have broken). *)
+let prop_cache_roundtrip () =
+  check_prop ~count:20 "cache round-trip is CEC-equivalent" arb_recipe
+    (fun r ->
+      let n = build_netlist r in
+      let box = Box.of_netlist n in
+      let cache = Scache.create () in
+      let key =
+        Scache.key
+          ~fingerprint:(Fp.probe box)
+          ~names_sig:(Fp.names_signature box)
+          ~config_sig:"prop"
+      in
+      Scache.insert cache ~key ~circuit:n ~report:Lr_instr.Json.Null;
+      match Scache.lookup cache ~key ~verify:(fun c -> equivalent c n) with
+      | None -> false
+      | Some e ->
+          Io.write n = e.Scache.circuit_text
+          && equivalent (Io.read e.Scache.circuit_text) n)
+
+(* Functionally equal, structurally different implementations must
+   fingerprint identically: the content address hashes behaviour, not
+   shape. Sweep and compress both rewrite the structure while provably
+   preserving the function (properties above). *)
+let prop_fingerprint_behavioural () =
+  check_prop ~count:20 "equal functions fingerprint identically" arb_recipe
+    (fun r ->
+      let n = build_netlist r in
+      let swept, _ = Sweep.run ~rng:(Rng.create 13) n in
+      let compressed =
+        let rng = Rng.create 7 in
+        Aig.to_netlist
+          ~input_names:(N.input_names n)
+          ~output_names:(N.output_names n)
+          (Opt.compress ~max_rounds:2 ~fraig_words:4 ~rng (build_aig r))
+      in
+      let f = Fp.probe (Box.of_netlist n) in
+      Fp.equal f (Fp.probe (Box.of_netlist swept))
+      && Fp.equal f (Fp.probe (Box.of_netlist compressed)))
+
 (* the harness must actually shrink: a seeded failing property ends at a
    local minimum, here the empty gate list *)
 let test_shrinking_works () =
@@ -506,6 +559,9 @@ let tests =
       prop_transient_faults_transparent;
     Alcotest.test_case "degraded netlists lint clean" `Quick
       prop_degraded_netlist_lints;
+    Alcotest.test_case "circuit cache round-trip" `Quick prop_cache_roundtrip;
+    Alcotest.test_case "fingerprints hash behaviour, not structure" `Quick
+      prop_fingerprint_behavioural;
     Alcotest.test_case "shrinking reaches a minimum" `Quick
       test_shrinking_works;
   ]

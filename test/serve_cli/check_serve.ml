@@ -1,0 +1,189 @@
+(* Daemon smoke checker: boot the real lr_serve executable on an
+   ephemeral port, drive one cached/uncached job pair over HTTP, check
+   liveness before and after shutdown and the CLI's exit codes on bad
+   invocations. Prints deterministic facts only (no ports, no timings),
+   diffed against serve.expected. *)
+
+module Json = Lr_instr.Json
+
+let daemon = Sys.argv.(1)
+
+(* ---------- process plumbing ---------- *)
+
+let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0
+
+let run_and_wait args =
+  let pid =
+    Unix.create_process daemon
+      (Array.of_list (daemon :: args))
+      devnull devnull devnull
+  in
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED c -> c
+  | _, (Unix.WSIGNALED _ | Unix.WSTOPPED _) -> -1
+
+(* ---------- tiny HTTP client ---------- *)
+
+let http ?(meth = "GET") ?(body = "") ~port path =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with _ -> ())
+  @@ fun () ->
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 30.0;
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let req =
+    Printf.sprintf
+      "%s %s HTTP/1.1\r\nHost: t\r\nContent-Length: %d\r\nConnection: \
+       close\r\n\r\n%s"
+      meth path (String.length body) body
+  in
+  ignore (Unix.write_substring fd req 0 (String.length req));
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 4096 in
+  let rec loop () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        loop ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let status_of resp =
+  match String.split_on_char ' ' resp with
+  | _ :: code :: _ -> Option.value (int_of_string_opt code) ~default:0
+  | _ -> 0
+
+let body_of resp =
+  let rec find i =
+    if i + 4 > String.length resp then String.length resp
+    else if String.sub resp i 4 = "\r\n\r\n" then i + 4
+    else find (i + 1)
+  in
+  let i = find 0 in
+  String.sub resp i (String.length resp - i)
+
+let json_of resp =
+  match Json.of_string (body_of resp) with Ok v -> v | Error _ -> Json.Null
+
+let jstr name v = Option.bind (Json.member name v) Json.get_string
+let jint name v = Option.bind (Json.member name v) Json.get_int
+
+let has_sub text needle =
+  let nl = String.length needle and tl = String.length text in
+  let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+  go 0
+
+let () =
+  (* bad invocations die before binding anything *)
+  Printf.printf "unknown flag exit: %d\n" (run_and_wait [ "--frobnicate" ]);
+  Printf.printf "bad port exit: %d\n" (run_and_wait [ "--listen"; "70000" ]);
+
+  (* boot on an ephemeral port, cache persisted next to the sandbox *)
+  let pid =
+    Unix.create_process daemon
+      [|
+        daemon; "--listen"; "0"; "--slots"; "1"; "--queue"; "4";
+        "--port-file"; "port.txt"; "--cache-dir"; "cache";
+      |]
+      devnull devnull devnull
+  in
+  let deadline = Unix.gettimeofday () +. 30.0 in
+  let rec wait_port () =
+    let line =
+      try
+        let ic = open_in "port.txt" in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> try Some (input_line ic) with End_of_file -> None)
+      with Sys_error _ -> None
+    in
+    match Option.bind line int_of_string_opt with
+    | Some p -> p
+    | None ->
+        if Unix.gettimeofday () > deadline then begin
+          print_endline "daemon never wrote its port";
+          exit 1
+        end;
+        Unix.sleepf 0.05;
+        wait_port ()
+  in
+  let port = wait_port () in
+
+  let health = http ~port "/healthz" in
+  Printf.printf "healthz: %d %s\n" (status_of health)
+    (Option.value (jstr "status" (json_of health)) ~default:"?");
+
+  (* malformed and unknown specs answer 400 without queueing anything *)
+  Printf.printf "bad json: %d\n"
+    (status_of (http ~meth:"POST" ~port ~body:"{nope" "/learn"));
+  Printf.printf "unknown case: %d\n"
+    (status_of (http ~meth:"POST" ~port ~body:{|{"case":"zzz"}|} "/learn"));
+
+  (* a cold job, then the same spec again: miss then verified hit *)
+  let spec = {|{"case":"case_7","budget":200000,"support_rounds":60}|} in
+  let submit () =
+    let r = http ~meth:"POST" ~port ~body:spec "/learn" in
+    Printf.printf "submit: %d %s\n" (status_of r)
+      (Option.value (jstr "job" (json_of r)) ~default:"?")
+  in
+  let await id =
+    let deadline = Unix.gettimeofday () +. 60.0 in
+    let rec go () =
+      let v = json_of (http ~port ("/jobs/" ^ id)) in
+      match jstr "state" v with
+      | Some "done" ->
+          Printf.printf "%s done cache=%s\n" id
+            (Option.value (jstr "cache" v) ~default:"?")
+      | Some "failed" -> Printf.printf "%s FAILED\n" id
+      | _ when Unix.gettimeofday () > deadline ->
+          Printf.printf "%s TIMED OUT\n" id
+      | _ ->
+          Unix.sleepf 0.05;
+          go ()
+    in
+    go ()
+  in
+  submit ();
+  await "j1";
+  submit ();
+  await "j2";
+
+  let circuit id =
+    jstr "circuit" (json_of (http ~port ("/jobs/" ^ id ^ "/result")))
+  in
+  Printf.printf "hit bit-identical: %b\n"
+    (circuit "j1" <> None && circuit "j1" = circuit "j2");
+
+  let stats = json_of (http ~port "/cache/stats") in
+  List.iter
+    (fun f ->
+      Printf.printf "cache %s: %d\n" f
+        (Option.value (jint f stats) ~default:(-1)))
+    [ "entries"; "hits"; "misses"; "refused"; "inserts" ];
+
+  let metrics = body_of (http ~port "/metrics") in
+  List.iter
+    (fun f -> Printf.printf "metrics %s: %b\n" f (has_sub metrics f))
+    [
+      "lr_serve_jobs_total";
+      "lr_serve_cache_hits_total 1";
+      "lr_serve_cache_misses_total 1";
+      "lr_serve_cache_refused_total 0";
+    ];
+
+  (* graceful shutdown: 200, clean exit, port released *)
+  Printf.printf "shutdown: %d\n"
+    (status_of (http ~meth:"POST" ~port "/shutdown"));
+  (match Unix.waitpid [] pid with
+  | _, Unix.WEXITED c -> Printf.printf "daemon exit: %d\n" c
+  | _, _ -> print_endline "daemon exit: signalled");
+  let refused =
+    match http ~port "/healthz" with
+    | _ -> false
+    | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> true
+    | exception _ -> true
+  in
+  Printf.printf "post-shutdown refused: %b\n" refused
